@@ -1,0 +1,204 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string_view>
+
+#include "exp/report.hpp"
+
+namespace eadt::bench {
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--csv") {
+      opt.csv = true;
+    } else if (arg == "--scale" && i + 1 < argc) {
+      opt.scale = static_cast<unsigned>(std::max(1, std::atoi(argv[++i])));
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      opt.scale = static_cast<unsigned>(std::max(1, std::atoi(arg.data() + 8)));
+    } else if (arg == "--plot" && i + 1 < argc) {
+      opt.plot_stem = argv[++i];
+    } else if (arg.rfind("--plot=", 0) == 0) {
+      opt.plot_stem = std::string(arg.substr(7));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: bench [--scale N] [--csv] [--plot STEM]\n"
+                   "  --scale N   divide the dataset size by N (default 1: paper scale)\n"
+                   "  --csv       emit CSV instead of aligned tables\n"
+                   "  --plot STEM write STEM.csv and a gnuplot script STEM.gp\n";
+      std::exit(0);
+    }
+  }
+  return opt;
+}
+
+void print_header(const testbeds::Testbed& t, const Options& opt) {
+  std::cout << "== " << t.env.name << " ==\n"
+            << "  link: " << Table::num(to_gbps(t.env.path.bandwidth), 1) << " Gbps, RTT "
+            << Table::num(t.env.path.rtt * 1000.0, 1) << " ms, TCP buffer "
+            << to_mb(t.env.path.tcp_buffer) << " MB, BDP "
+            << Table::num(static_cast<double>(t.env.bdp()) / 1e6, 1) << " MB\n"
+            << "  dataset: " << t.recipe.name << ", "
+            << Table::num(to_gb(t.recipe.total_bytes / opt.scale), 1) << " GB"
+            << (opt.scale > 1 ? " (scaled 1/" + std::to_string(opt.scale) + ")" : "")
+            << "\n  DTN servers per site: " << t.env.source.servers.size() << "\n\n";
+}
+
+void emit(const Table& table, const Options& opt) {
+  if (opt.csv) {
+    table.render_csv(std::cout);
+  } else {
+    table.render(std::cout);
+  }
+  std::cout << '\n';
+}
+
+namespace {
+
+testbeds::Testbed scaled(testbeds::Testbed t, unsigned divisor) {
+  t.recipe.total_bytes /= std::max(1u, divisor);
+  return t;
+}
+
+}  // namespace
+
+void run_concurrency_figure(const testbeds::Testbed& base, const Options& opt) {
+  const auto t = scaled(base, opt.scale);
+  print_header(base, opt);
+  const auto dataset = t.make_dataset();
+
+  const auto algorithms = exp::figure_algorithms();
+  const auto levels = exp::figure_concurrency_levels();
+
+  std::map<std::pair<exp::Algorithm, int>, exp::RunOutcome> runs;
+  for (const auto a : algorithms) {
+    for (const int level : levels) {
+      // GUC and GO do not take a concurrency parameter; run them once.
+      if ((a == exp::Algorithm::kGuc || a == exp::Algorithm::kGo) &&
+          level != levels.front()) {
+        runs.emplace(std::make_pair(a, level), runs.at({a, levels.front()}));
+        continue;
+      }
+      runs.emplace(std::make_pair(a, level), exp::run_algorithm(a, t, dataset, level));
+    }
+  }
+
+  // Brute-force reference sweep for panel (c).
+  std::map<int, exp::RunOutcome> bf;
+  double best_bf_ratio = 0.0;
+  for (const int level : exp::bf_concurrency_levels()) {
+    auto out = exp::run_algorithm(exp::Algorithm::kBf, t, dataset, level);
+    best_bf_ratio = std::max(best_bf_ratio, out.ratio());
+    bf.emplace(level, std::move(out));
+  }
+
+  auto header_row = [&] {
+    std::vector<std::string> h{"concurrency"};
+    for (const auto a : algorithms) h.emplace_back(exp::to_string(a));
+    return h;
+  };
+
+  std::cout << "(a) Throughput (Mbps)\n";
+  Table thr(header_row());
+  for (const int level : levels) {
+    std::vector<std::string> row{std::to_string(level)};
+    for (const auto a : algorithms) {
+      row.push_back(Table::num(runs.at({a, level}).throughput_mbps(), 0));
+    }
+    thr.add_row(std::move(row));
+  }
+  emit(thr, opt);
+
+  std::cout << "(b) End-system energy (Joule)\n";
+  Table en(header_row());
+  for (const int level : levels) {
+    std::vector<std::string> row{std::to_string(level)};
+    for (const auto a : algorithms) {
+      row.push_back(Table::num(runs.at({a, level}).energy(), 0));
+    }
+    en.add_row(std::move(row));
+  }
+  emit(en, opt);
+
+  std::cout << "(c) Energy efficiency (throughput/energy, normalised to best BF)\n";
+  Table eff(header_row());
+  for (const int level : levels) {
+    std::vector<std::string> row{std::to_string(level)};
+    for (const auto a : algorithms) {
+      row.push_back(Table::num(runs.at({a, level}).ratio() / best_bf_ratio, 3));
+    }
+    eff.add_row(std::move(row));
+  }
+  emit(eff, opt);
+
+  std::cout << "(c) Brute-force sweep (normalised ratio by concurrency)\n";
+  Table bft({"concurrency", "BF ratio"});
+  for (const auto& [level, out] : bf) {
+    bft.add_row({std::to_string(level), Table::num(out.ratio() / best_bf_ratio, 3)});
+  }
+  emit(bft, opt);
+
+  if (!opt.plot_stem.empty()) {
+    exp::SweepTable sweep;
+    sweep.levels = levels;
+    for (const auto& [key, out] : runs) sweep.outcomes[key.first][key.second] = out;
+    {
+      std::ofstream csv(opt.plot_stem + ".csv");
+      exp::write_sweep_csv(csv, sweep);
+    }
+    {
+      std::ofstream gp(opt.plot_stem + ".gp");
+      exp::write_sweep_gnuplot(gp, sweep, opt.plot_stem + ".csv", opt.plot_stem);
+    }
+    std::cout << "wrote " << opt.plot_stem << ".csv and " << opt.plot_stem
+              << ".gp (render: gnuplot " << opt.plot_stem << ".gp)\n\n";
+  }
+
+  // The figure's headline observations, recomputed from this run.
+  const auto& htee12 = runs.at({exp::Algorithm::kHtee, 12});
+  const auto& mine12 = runs.at({exp::Algorithm::kMinE, 12});
+  const auto& sc12 = runs.at({exp::Algorithm::kSc, 12});
+  const auto& promc12 = runs.at({exp::Algorithm::kProMc, 12});
+  std::cout << "checks:\n"
+            << "  HTEE chose concurrency " << htee12.chosen_concurrency
+            << " (ratio = " << Table::num(100.0 * htee12.ratio() / best_bf_ratio, 1)
+            << "% of best BF)\n"
+            << "  MinE ratio = " << Table::num(100.0 * mine12.ratio() / best_bf_ratio, 1)
+            << "% of best BF\n"
+            << "  SC/MinE energy at cc=12: "
+            << Table::num(100.0 * sc12.energy() / mine12.energy() - 100.0, 1)
+            << "% extra for SC\n"
+            << "  ProMC peak throughput: " << Table::num(promc12.throughput_mbps(), 0)
+            << " Mbps\n\n";
+}
+
+void run_sla_figure(const testbeds::Testbed& base, int promc_level, const Options& opt) {
+  const auto t = scaled(base, opt.scale);
+  print_header(base, opt);
+  const auto dataset = t.make_dataset();
+
+  const auto promc = exp::run_algorithm(exp::Algorithm::kProMc, t, dataset, promc_level);
+  const BitsPerSecond max_thr = promc.result.avg_throughput();
+  std::cout << "ProMC maximum throughput (cc=" << promc_level
+            << "): " << Table::num(to_mbps(max_thr), 0)
+            << " Mbps, energy " << Table::num(promc.energy(), 0) << " J\n\n";
+
+  Table table({"target %", "target Mbps", "achieved Mbps", "energy J",
+               "vs ProMC energy %", "deviation %", "final cc", "rearranged"});
+  for (const double target : exp::sla_target_percents()) {
+    const auto out = exp::run_slaee(t, dataset, target, max_thr, 12);
+    table.add_row({Table::num(target, 0), Table::num(to_mbps(out.target_throughput), 0),
+                   Table::num(out.achieved_mbps(), 0), Table::num(out.energy(), 0),
+                   Table::num(100.0 * out.energy() / promc.energy() - 100.0, 1),
+                   Table::num(out.deviation_percent(), 1),
+                   std::to_string(out.final_concurrency),
+                   out.rearranged ? "yes" : "no"});
+  }
+  std::cout << "SLA transfers (Figure panels a-c as columns)\n";
+  emit(table, opt);
+}
+
+}  // namespace eadt::bench

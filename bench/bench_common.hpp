@@ -1,0 +1,39 @@
+// Shared driver for the figure-reproduction binaries.
+//
+// Every bench prints (a) the testbed header, (b) the same series the paper's
+// figure plots, as a table, and (c) the qualitative checks the paper's text
+// makes about that figure. `--scale N` divides the dataset bytes by N for a
+// quick run; `--csv` switches the tables to CSV.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "exp/runner.hpp"
+#include "util/table.hpp"
+
+namespace eadt::bench {
+
+struct Options {
+  unsigned scale = 1;
+  bool csv = false;
+  /// When non-empty, concurrency figures also write <stem>.csv and a
+  /// ready-to-run gnuplot script <stem>.gp.
+  std::string plot_stem;
+};
+
+[[nodiscard]] Options parse_options(int argc, char** argv);
+
+/// Testbed banner: Figure 1's specs for this environment.
+void print_header(const testbeds::Testbed& t, const Options& opt);
+
+void emit(const Table& table, const Options& opt);
+
+/// Figures 2/3/4: throughput, energy and efficiency vs concurrency for the
+/// six algorithms, plus the brute-force reference sweep.
+void run_concurrency_figure(const testbeds::Testbed& base, const Options& opt);
+
+/// Figures 5/6/7: SLAEE at {95,90,80,70,50}% of the ProMC maximum.
+void run_sla_figure(const testbeds::Testbed& base, int promc_level, const Options& opt);
+
+}  // namespace eadt::bench

@@ -1,0 +1,57 @@
+// Reproduces Figure 10: decomposition of the total (load-dependent) transfer
+// energy into end-system and network-infrastructure components for the HTEE
+// algorithm on all three testbeds, and prints the Figure 9 device chains.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "power/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eadt;
+  const auto opt = bench::parse_options(argc, argv);
+
+  std::cout << "Figure 10 — end-system vs network energy (HTEE transfers)\n\n";
+
+  std::cout << "Figure 9 — device chains\n";
+  for (const auto& t : testbeds::all_testbeds()) {
+    std::cout << "  " << t.env.name << ": ";
+    bool first = true;
+    for (const auto& d : t.env.route.devices()) {
+      if (!first) std::cout << " -> ";
+      std::cout << net::to_string(d.kind);
+      first = false;
+    }
+    std::cout << '\n';
+  }
+  std::cout << '\n';
+
+  Table table({"testbed", "end-system kJ", "network kJ", "end-system %", "network %"});
+  Table detail({"testbed", "device kind", "count", "J"});
+  for (auto t : testbeds::all_testbeds()) {
+    t.recipe.total_bytes /= opt.scale;
+    const auto ds = t.make_dataset();
+    const auto out =
+        exp::run_algorithm(exp::Algorithm::kHtee, t, ds, t.default_max_channels);
+    const Joules end = out.result.end_system_energy;
+    const Joules netj = out.result.network_energy;
+    const double total = end + netj;
+    table.add_row({t.env.name, Table::num(end / 1000.0, 2), Table::num(netj / 1000.0, 3),
+                   Table::num(100.0 * end / total, 1), Table::num(100.0 * netj / total, 1)});
+    for (const auto& dk : power::route_transfer_energy_by_kind(
+             t.env.route, out.result.bytes, t.env.path.mtu)) {
+      detail.add_row({t.env.name, net::to_string(dk.kind),
+                      std::to_string(t.env.route.count(dk.kind)),
+                      Table::num(dk.joules, 1)});
+    }
+  }
+  bench::emit(table, opt);
+
+  std::cout << "network energy by device kind (Eq. 5 + Table 1)\n";
+  bench::emit(detail, opt);
+
+  std::cout << "checks:\n"
+               "  end-systems dominate the load-dependent energy on every testbed\n"
+               "  the metro-router path gives FutureGrid the highest network\n"
+               "  energy per byte of the three environments\n";
+  return 0;
+}

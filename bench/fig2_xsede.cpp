@@ -1,0 +1,10 @@
+// Reproduces Figure 2: data transfers between Stampede (TACC) and
+// Gordon (SDSC) on XSEDE — throughput, energy and efficiency vs concurrency.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = eadt::bench::parse_options(argc, argv);
+  std::cout << "Figure 2 — XSEDE Stampede <-> Gordon\n\n";
+  eadt::bench::run_concurrency_figure(eadt::testbeds::xsede(), opt);
+  return 0;
+}

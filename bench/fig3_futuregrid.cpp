@@ -1,0 +1,10 @@
+// Reproduces Figure 3: data transfers between Alamo (TACC) and
+// Hotel (UChicago) on FutureGrid.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = eadt::bench::parse_options(argc, argv);
+  std::cout << "Figure 3 — FutureGrid Alamo <-> Hotel\n\n";
+  eadt::bench::run_concurrency_figure(eadt::testbeds::futuregrid(), opt);
+  return 0;
+}

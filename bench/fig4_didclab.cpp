@@ -1,0 +1,9 @@
+// Reproduces Figure 4: data transfers between WS9 and WS6 on the DIDCLAB LAN.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = eadt::bench::parse_options(argc, argv);
+  std::cout << "Figure 4 — DIDCLAB WS9 <-> WS6 (LAN)\n\n";
+  eadt::bench::run_concurrency_figure(eadt::testbeds::didclab(), opt);
+  return 0;
+}

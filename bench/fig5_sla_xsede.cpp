@@ -1,0 +1,10 @@
+// Reproduces Figure 5: SLA transfers between Stampede and Gordon (XSEDE).
+// Targets are percentages of the maximum throughput ProMC achieves at cc=12.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = eadt::bench::parse_options(argc, argv);
+  std::cout << "Figure 5 — SLA transfers @XSEDE\n\n";
+  eadt::bench::run_sla_figure(eadt::testbeds::xsede(), 12, opt);
+  return 0;
+}

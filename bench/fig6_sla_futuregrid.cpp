@@ -1,0 +1,9 @@
+// Reproduces Figure 6: SLA transfers between Alamo and Hotel (FutureGrid).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = eadt::bench::parse_options(argc, argv);
+  std::cout << "Figure 6 — SLA transfers @FutureGrid\n\n";
+  eadt::bench::run_sla_figure(eadt::testbeds::futuregrid(), 12, opt);
+  return 0;
+}

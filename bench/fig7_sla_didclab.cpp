@@ -1,0 +1,10 @@
+// Reproduces Figure 7: SLA transfers between WS9 and WS6 (DIDCLAB LAN).
+// The ProMC reference runs at cc=1 — the LAN optimum.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto opt = eadt::bench::parse_options(argc, argv);
+  std::cout << "Figure 7 — SLA transfers @DIDCLAB\n\n";
+  eadt::bench::run_sla_figure(eadt::testbeds::didclab(), 1, opt);
+  return 0;
+}

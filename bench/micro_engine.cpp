@@ -1,0 +1,63 @@
+// google-benchmark microbenchmarks of the simulator's hot paths: the fair
+// share allocator, event queue, utilization/power evaluation, and a whole
+// small transfer session per iteration.
+#include <benchmark/benchmark.h>
+
+#include "baselines/baselines.hpp"
+#include "net/fair_share.hpp"
+#include "power/end_system.hpp"
+#include "proto/session.hpp"
+#include "sim/simulation.hpp"
+#include "testbeds/testbeds.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace eadt;
+
+void BM_FairShare(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<net::Demand> demands;
+  for (int i = 0; i < n; ++i) demands.push_back({rng.uniform(1e8, 5e9), rng.uniform(1, 4)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::fair_share(gbps(10.0), demands));
+  }
+}
+BENCHMARK(BM_FairShare)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(static_cast<double>((i * 7919) % 1000), [] {});
+    }
+    sim.run_until();
+    benchmark::DoNotOptimize(sim.now());
+  }
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_PowerModel(benchmark::State& state) {
+  power::PowerCoefficients c;
+  host::Utilization u{0.6, 0.2, 0.4, 0.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(power::fine_grained_power(c, 4, u));
+  }
+}
+BENCHMARK(BM_PowerModel);
+
+void BM_SmallTransferSession(benchmark::State& state) {
+  auto t = testbeds::didclab();
+  t.recipe.total_bytes = 1ULL * kGB;
+  const auto ds = t.make_dataset();
+  for (auto _ : state) {
+    proto::TransferSession s(t.env, ds, baselines::plan_promc(t.env, ds, 4));
+    benchmark::DoNotOptimize(s.run());
+  }
+}
+BENCHMARK(BM_SmallTransferSession)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Reproduces the Section 2.2 power-model accuracy table: error rates of the
+// fine-grained, CPU-only and TDP-extended models against the (synthetic)
+// power meter while running scp/rsync/ftp/bbcp/gridftp-shaped loads.
+//
+// Paper bands: fine-grained < 6 % everywhere; CPU-only close to fine-grained
+// on the home machine; extending via the TDP ratio to the AMD server adds
+// another 2-3 % of error.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "power/calibrator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eadt;
+  const auto opt = bench::parse_options(argc, argv);
+
+  std::cout << "Section 2.2 — power model accuracy\n\n";
+
+  // "Intel" home machine and "AMD" foreign machine, with mildly convex true
+  // power curves and 2 % meter noise.
+  power::GroundTruthServer intel({240.0, 28.0, 24.0, 18.0, 11.0}, 4, 115.0, 0.04,
+                                 0.02, Rng(1001));
+  // The AMD server's power tracks its 220 W TDP (~1.91x the Intel's)
+  // component-wise to within 10-20 % — vendor spread Eq. 3 cannot see.
+  power::GroundTruthServer amd({486.0, 48.6, 50.3, 31.7, 23.9}, 8, 220.0, 0.05, 0.02,
+                               Rng(2002));
+
+  const auto cal = power::calibrate(intel, Rng(7));
+  std::cout << "model building phase (Intel server):\n"
+            << "  fitted coefficients: cpu_scale=" << Table::num(cal.fitted.cpu_scale, 1)
+            << " W, mem=" << Table::num(cal.fitted.mem, 1)
+            << " W, disk=" << Table::num(cal.fitted.disk, 1)
+            << " W, nic=" << Table::num(cal.fitted.nic, 1)
+            << " W, base=" << Table::num(cal.fitted.active_base, 1) << " W\n"
+            << "  fine-grained R^2 = " << Table::num(cal.fine_grained_r2, 4) << '\n'
+            << "  CPU-power correlation = "
+            << Table::num(100.0 * cal.cpu_power_correlation, 2)
+            << "% (paper reports 89.71%)\n\n";
+
+  const auto rows = power::evaluate_models(cal, intel, amd, Rng(8));
+  Table table({"tool", "fine-grained MAPE %", "CPU-only MAPE %",
+               "TDP-extended (AMD) MAPE %"});
+  for (const auto& r : rows) {
+    table.add_row({r.tool, Table::num(r.fine_grained_mape, 2),
+                   Table::num(r.cpu_only_mape, 2), Table::num(r.tdp_extended_mape, 2)});
+  }
+  bench::emit(table, opt);
+
+  std::cout << "checks:\n"
+               "  fine-grained model stays under ~6% error for every tool\n"
+               "  CPU-only >= fine-grained; TDP extension adds a few percent\n";
+  return 0;
+}

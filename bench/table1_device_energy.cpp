@@ -1,0 +1,39 @@
+// Reproduces Table 1: per-packet power-consumption coefficients of the
+// networking devices, and what they imply per transferred gigabyte.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "power/device.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eadt;
+  const auto opt = bench::parse_options(argc, argv);
+
+  std::cout << "Table 1 — per-packet device power coefficients\n\n";
+
+  const net::DeviceKind kinds[] = {
+      net::DeviceKind::kEnterpriseSwitch, net::DeviceKind::kEdgeSwitch,
+      net::DeviceKind::kMetroRouter, net::DeviceKind::kEdgeRouter};
+
+  Table table({"device", "Pp (nJ/packet)", "Ps-f (pJ/byte)", "J per GB @1500B MTU"});
+  for (const auto kind : kinds) {
+    const auto c = power::per_packet_coefficients(kind);
+    const double packets_per_gb = static_cast<double>(kGB) / 1500.0;
+    const Joules per_gb = packets_per_gb * power::per_packet_energy(kind, 1500);
+    table.add_row({net::to_string(kind), Table::num(c.pp_nj, 1),
+                   Table::num(c.psf_pj_per_byte, 2), Table::num(per_gb, 3)});
+  }
+  bench::emit(table, opt);
+
+  std::cout << "Load-dependent network energy of the experiment transfers\n";
+  Table routes({"testbed", "dataset GB", "network J"});
+  for (auto t : testbeds::all_testbeds()) {
+    const Bytes bytes = t.recipe.total_bytes / opt.scale;
+    routes.add_row({t.env.name, Table::num(to_gb(bytes), 0),
+                    Table::num(power::route_transfer_energy(t.env.route, bytes,
+                                                            t.env.path.mtu),
+                               0)});
+  }
+  bench::emit(routes, opt);
+  return 0;
+}

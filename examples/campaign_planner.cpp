@@ -1,0 +1,56 @@
+// Campaign planner: a nightly bulk-replication job must pick a transfer
+// algorithm per route. This example benchmarks the candidates on each route
+// (WAN 10G, WAN 1G, LAN) and recommends one by policy:
+//   * "deadline"  — highest throughput wins,
+//   * "green"     — lowest energy wins,
+//   * "balanced"  — best throughput/energy ratio wins.
+#include <iostream>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eadt;
+
+  struct Candidate {
+    exp::Algorithm algorithm;
+    int concurrency;
+  };
+  const std::vector<Candidate> candidates = {
+      {exp::Algorithm::kSc, 8},   {exp::Algorithm::kMinE, 8},
+      {exp::Algorithm::kProMc, 8}, {exp::Algorithm::kHtee, 8},
+  };
+
+  for (auto testbed : testbeds::all_testbeds()) {
+    testbed.recipe.total_bytes /= 16;  // demo-sized nightly batch
+    const auto dataset = testbed.make_dataset();
+    std::cout << "route: " << testbed.env.name << " ("
+              << Table::num(to_gb(dataset.total_bytes()), 1) << " GB)\n";
+
+    Table table({"algorithm", "Mbps", "Joule", "ratio"});
+    const exp::RunOutcome* fastest = nullptr;
+    const exp::RunOutcome* greenest = nullptr;
+    const exp::RunOutcome* balanced = nullptr;
+    std::vector<exp::RunOutcome> outcomes;
+    outcomes.reserve(candidates.size());
+    for (const auto& c : candidates) {
+      outcomes.push_back(exp::run_algorithm(c.algorithm, testbed, dataset, c.concurrency));
+    }
+    for (const auto& out : outcomes) {
+      table.add_row({exp::to_string(out.algorithm), Table::num(out.throughput_mbps(), 0),
+                     Table::num(out.energy(), 0), Table::num(out.ratio(), 3)});
+      if (fastest == nullptr || out.throughput_mbps() > fastest->throughput_mbps()) {
+        fastest = &out;
+      }
+      if (greenest == nullptr || out.energy() < greenest->energy()) greenest = &out;
+      if (balanced == nullptr || out.ratio() > balanced->ratio()) balanced = &out;
+    }
+    table.render(std::cout);
+    std::cout << "  deadline policy -> " << exp::to_string(fastest->algorithm)
+              << "\n  green policy    -> " << exp::to_string(greenest->algorithm)
+              << "\n  balanced policy -> " << exp::to_string(balanced->algorithm)
+              << "\n\n";
+  }
+  return 0;
+}

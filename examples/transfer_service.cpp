@@ -1,0 +1,75 @@
+// Transfer service: a provider runs tonight's replication queue — a physics
+// archive on a deadline, two green bulk mirrors, an SLA customer, and a
+// budget-capped backup — and compares queue orderings against its power bill.
+#include <iostream>
+
+#include "exp/service.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eadt;
+
+  auto testbed = testbeds::xsede();
+  testbed.recipe.total_bytes = 10ULL * kGB;  // demo-sized jobs
+  for (auto& band : testbed.recipe.bands) {
+    band.max_size = std::max(band.max_size / 8, band.min_size * 2);
+  }
+
+  proto::SessionConfig cfg;
+  cfg.sample_interval = 1.0;
+  exp::TransferService service(testbed, 0.0, cfg);
+  std::cout << "service reference rate: "
+            << Table::num(to_mbps(service.reference_rate()), 0) << " Mbps\n\n";
+
+  // Time-of-use tariff: evening peak at $0.32/kWh, night at $0.06, else $0.12.
+  // The nightly queue kicks off at 20:30 — the first jobs land in the peak.
+  const auto tariff = power::Tariff::time_of_use(
+      0.12, {{17.0, 21.0, 0.32}, {22.0, 6.0, 0.06}});
+  service.set_tariff(tariff, 20.5 * 3600.0);
+
+  auto dataset_of = [&](std::uint64_t seed) {
+    auto t = testbed;
+    t.dataset_seed = seed;
+    return t.make_dataset();
+  };
+
+  std::vector<exp::TransferJob> jobs;
+  jobs.push_back({"physics-archive", dataset_of(1), exp::JobPolicy::kDeadline, 0, 0, 12});
+  jobs.push_back({"mirror-a", dataset_of(2), exp::JobPolicy::kGreen, 0, 0, 12});
+  jobs.push_back({"sla-customer", dataset_of(3), exp::JobPolicy::kSla, 75.0, 0, 12});
+  jobs.push_back({"mirror-b", dataset_of(4), exp::JobPolicy::kGreen, 0, 0, 12});
+  exp::TransferJob backup{"capped-backup", dataset_of(5),
+                          exp::JobPolicy::kEnergyBudget, 0, 2100.0, 12};
+  jobs.push_back(std::move(backup));
+
+  struct OrderCase {
+    const char* name;
+    exp::QueueOrder order;
+  };
+  for (const OrderCase oc : {OrderCase{"FIFO", exp::QueueOrder::kFifo},
+                             OrderCase{"shortest-first", exp::QueueOrder::kShortestFirst},
+                             OrderCase{"green-first", exp::QueueOrder::kGreenFirst}}) {
+    const auto report = service.run_queue(jobs, oc.order);
+    std::cout << "queue order: " << oc.name << "\n";
+    Table table({"job", "policy", "start s", "end s", "Mbps", "Joule", "cost",
+                 "note"});
+    for (const auto& j : report.jobs) {
+      std::string note;
+      if (j.policy == exp::JobPolicy::kSla) note = j.sla_met ? "SLA met" : "SLA MISSED";
+      table.add_row({j.name, exp::to_string(j.policy), Table::num(j.queued_at, 1),
+                     Table::num(j.finished_at, 1), Table::num(j.throughput_mbps(), 0),
+                     Table::num(j.result.end_system_energy, 0),
+                     "$" + Table::num(j.cost_usd * 1000.0, 2) + "m", note});
+    }
+    table.render(std::cout);
+    std::cout << "  makespan " << Table::num(report.makespan, 1) << " s, total energy "
+              << Table::num(report.total_energy / 1000.0, 2) << " kJ, bill $"
+              << Table::num(report.total_cost_usd * 1000.0, 2) << "m\n\n";
+  }
+
+  std::cout << "Ordering does not change each job's Joules here (one transfer\n"
+               "at a time), but it decides *when* each job lands against the\n"
+               "tariff: jobs that slip past 21:00 escape the evening peak.\n"
+               "(costs in milli-dollars: these are demo-sized jobs.)\n";
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "core/algorithms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eadt::core {
+
+proto::TransferPlan tuned_chunk_plan(const proto::Environment& env,
+                                     const proto::Dataset& dataset) {
+  const Bytes bdp = env.bdp();
+  proto::TransferPlan plan;
+  plan.chunks = proto::merge_chunks(proto::partition_files(dataset, bdp));
+  plan.params.resize(plan.chunks.size());
+  for (std::size_t i = 0; i < plan.chunks.size(); ++i) {
+    const Bytes avg = plan.chunks[i].avg_file_size();
+    plan.params[i].pipelining = pipelining_level(bdp, avg);
+    plan.params[i].parallelism = parallelism_level(bdp, avg, env.path.tcp_buffer);
+    plan.params[i].channels = 0;
+  }
+  return plan;
+}
+
+proto::TransferPlan plan_min_energy(const proto::Environment& env,
+                                    const proto::Dataset& dataset, int max_channels) {
+  proto::TransferPlan plan = tuned_chunk_plan(env, dataset);
+  const Bytes bdp = env.bdp();
+  int avail = std::max(1, max_channels);
+  // Algorithm 1's loop runs Small -> Large; partition_files already returns
+  // chunks in that order. Small chunks grab ceil((avail+1)/2) first, the
+  // Large chunk's ceil(BDP/avg) term pins it to one channel.
+  for (std::size_t i = 0; i < plan.chunks.size(); ++i) {
+    const int cc = concurrency_level(bdp, plan.chunks[i].avg_file_size(), avail);
+    plan.params[i].channels = cc;
+    avail -= cc;
+  }
+  plan.placement = proto::Placement::kPacked;
+  plan.steal = proto::StealPolicy::kNonLargeOnly;
+  plan.sequential_chunks = false;
+  return plan;
+}
+
+proto::TransferPlan plan_htee(const proto::Environment& env,
+                              const proto::Dataset& dataset, int max_channels) {
+  proto::TransferPlan plan = tuned_chunk_plan(env, dataset);
+  const auto alloc =
+      allocate_channels_by_weight(plan.chunks, std::max(1, max_channels),
+                                  /*ensure_total=*/false);
+  for (std::size_t i = 0; i < plan.chunks.size(); ++i) {
+    plan.params[i].channels = alloc[i];
+  }
+  plan.placement = proto::Placement::kPacked;
+  plan.steal = proto::StealPolicy::kAll;
+  plan.sequential_chunks = false;
+  return plan;
+}
+
+void HteeController::on_sample(proto::TransferSession& session,
+                               const proto::SampleStats& stats) {
+  if (!searching_) return;
+  // Evaluate the probe that just ran.
+  const double ratio = stats.throughput_per_joule();
+  if (ratio > best_ratio_) {
+    best_ratio_ = ratio;
+    chosen_level_ = probe_level_;
+  }
+  probe_level_ += stride_;  // paper stride 2 halves the search space: 1, 3, 5, ...
+  if (probe_level_ > max_channels_) {
+    searching_ = false;
+    session.set_total_concurrency(chosen_level_);
+  } else {
+    session.set_total_concurrency(probe_level_);
+  }
+}
+
+proto::TransferPlan plan_slaee(const proto::Environment& env,
+                               const proto::Dataset& dataset, int max_channels) {
+  proto::TransferPlan plan = tuned_chunk_plan(env, dataset);
+  // Small chunks get channel priority (HTEE weights); the Large chunk's
+  // one-channel restriction is enforced at runtime via the large-chunk cap so
+  // reArrangeChannels can lift it.
+  const auto alloc = allocate_channels_by_weight(plan.chunks, std::max(1, max_channels),
+                                                 /*ensure_total=*/true);
+  for (std::size_t i = 0; i < plan.chunks.size(); ++i) {
+    plan.params[i].channels = alloc[i];
+  }
+  plan.placement = proto::Placement::kPacked;
+  plan.steal = proto::StealPolicy::kAll;
+  plan.sequential_chunks = false;
+  return plan;
+}
+
+void SlaeeController::on_start(proto::TransferSession& session) {
+  session.set_large_chunk_cap(1);
+}
+
+void SlaeeController::on_sample(proto::TransferSession& session,
+                                const proto::SampleStats& stats) {
+  if (!warmed_up_) {
+    // The first window is cold (slow-start, channel setup); acting on it
+    // would jump to a needlessly high level that then cannot be walked back.
+    warmed_up_ = true;
+    return;
+  }
+  const BitsPerSecond raw = stats.throughput();
+  if (raw <= 0.0) return;
+  // Exponentially smoothed throughput: a transfer's rate breathes as the
+  // chunk mix shifts; reacting to a single window's dip walks the level all
+  // the way to the maximum for targets that are actually satisfied.
+  smoothed_ = smoothed_ > 0.0 ? 0.6 * smoothed_ + 0.4 * raw : raw;
+  const BitsPerSecond act = smoothed_;
+  // A whisker below target is within the SLA's own deviation allowance.
+  if (act >= target_ * (1.0 - kDeficitTolerance)) {
+    consecutive_deficits_ = 0;
+    return;
+  }
+  // Drain guard: when less than a couple of windows' worth of data remains,
+  // a low reading just means the transfer is finishing — don't escalate.
+  const double window_bytes = target_ * stats.duration() / 8.0;
+  if (static_cast<double>(session.bytes_remaining()) < 2.0 * window_bytes) return;
+  // Hysteresis: act on a sustained deficit, not a single noisy window (file
+  // boundaries can make one window read low); there is no way back down.
+  if (++consecutive_deficits_ < 2) return;
+  consecutive_deficits_ = 0;
+
+  if (!first_adjustment_done_ && level_ < max_channels_) {
+    // Line 11: estimate the needed level from the throughput deficit.
+    first_adjustment_done_ = true;
+    const double jump = std::ceil(target_ / act * static_cast<double>(level_));
+    level_ = std::clamp(static_cast<int>(jump), level_ + 1, max_channels_);
+    session.set_total_concurrency(level_);
+    smoothed_ = 0.0;  // the level changed: start a fresh estimate
+    return;
+  }
+  if (level_ < max_channels_) {
+    ++level_;
+    session.set_total_concurrency(level_);
+    smoothed_ = 0.0;
+  } else if (!rearranged_) {
+    // Line 18: reArrangeChannels — let the Large chunk hold several channels.
+    rearranged_ = true;
+    session.set_large_chunk_cap(std::nullopt);
+  }
+}
+
+}  // namespace eadt::core

@@ -1,0 +1,63 @@
+#include "core/energy_budget.hpp"
+
+#include <algorithm>
+
+namespace eadt::core {
+
+void EnergyBudgetController::on_sample(proto::TransferSession& session,
+                                       const proto::SampleStats& stats) {
+  spent_ += stats.end_system_energy;
+  if (stats.bytes == 0) return;
+
+  const double jpb = stats.end_system_energy / static_cast<double>(stats.bytes);
+  smoothed_jpb_ = smoothed_jpb_ > 0.0 ? 0.6 * smoothed_jpb_ + 0.4 * jpb : jpb;
+  projected_ =
+      spent_ + smoothed_jpb_ * static_cast<double>(session.bytes_remaining());
+
+  if (hold_ > 0) {
+    // Give a fresh level a settle window before judging it: the first window
+    // after a change mixes two operating points.
+    --hold_;
+    return;
+  }
+
+  auto move_to = [&](int level, bool saving_probe) {
+    jpb_before_move_ = smoothed_jpb_;
+    last_move_ = level - level_;
+    probing_for_savings_ = saving_probe;
+    level_ = std::clamp(level, 1, max_channels_);
+    session.set_total_concurrency(level_);
+    smoothed_jpb_ = 0.0;
+    hold_ = 1;
+  };
+
+  // Energy per byte is U-shaped in the concurrency level (the Eq. 2 parabola
+  // on multi-core DTNs; monotone on a thrashing single disk). A cost-cutting
+  // probe that *raised* jpb gets reverted, and that direction is abandoned:
+  // we are at the cheapest attainable operating point.
+  if (probing_for_savings_ && jpb_before_move_ > 0.0) {
+    probing_for_savings_ = false;
+    if (smoothed_jpb_ > jpb_before_move_ * 1.02) {
+      savings_blocked_ = true;
+      move_to(level_ - last_move_, /*saving_probe=*/false);  // revert
+      return;
+    }
+  }
+
+  if (projected_ > budget_ * kHighWater) {
+    if (savings_blocked_) return;  // cheapest point known; ride it out
+    // Probe toward cheaper bytes: down in general, up out of the slow-and-
+    // expensive level-1 corner.
+    if (level_ > 1) {
+      move_to(level_ - 1, /*saving_probe=*/true);
+    } else if (level_ < max_channels_) {
+      move_to(level_ + 1, /*saving_probe=*/true);
+    }
+  } else if (projected_ < budget_ * kLowWater && level_ < max_channels_) {
+    move_to(level_ + 1, /*saving_probe=*/false);
+  } else {
+    last_move_ = 0;
+  }
+}
+
+}  // namespace eadt::core

@@ -1,0 +1,61 @@
+// Energy-budgeted transfers — an extension beyond the paper's three
+// algorithms, in the spirit of its conclusion (providers selling transfer
+// tiers priced in Joules rather than Mbps).
+//
+// EnergyBudgetController is the dual of SLAEE: instead of "hit this
+// throughput with the least energy", it answers "move these bytes as fast as
+// possible without the transfer costing more than B Joules". Every sampling
+// window it projects the total end-system energy of finishing at the current
+// concurrency level (spent + marginal-energy-per-byte x bytes left) and
+// walks the level up while there is budget headroom, down when the
+// projection overruns. Downshifts preempt channels mid-file, which the
+// engine supports natively.
+//
+// Guarantees (asserted by tests):
+//   * the transfer always completes (level never drops below 1, so an
+//     infeasible budget degrades to the most frugal schedule instead of
+//     starving);
+//   * for feasible budgets the final spend stays within a small tolerance of
+//     the cap;
+//   * a larger budget never finishes (meaningfully) slower.
+#pragma once
+
+#include <optional>
+
+#include "proto/plan.hpp"
+#include "proto/session.hpp"
+
+namespace eadt::core {
+
+class EnergyBudgetController final : public proto::Controller {
+ public:
+  EnergyBudgetController(Joules budget, int max_channels)
+      : budget_(budget), max_channels_(max_channels) {}
+
+  std::optional<int> initial_concurrency() override { return 1; }
+  void on_sample(proto::TransferSession& session, const proto::SampleStats& stats) override;
+
+  [[nodiscard]] int final_level() const noexcept { return level_; }
+  [[nodiscard]] Joules spent() const noexcept { return spent_; }
+  /// Latest projection of the total energy at completion.
+  [[nodiscard]] Joules projected_total() const noexcept { return projected_; }
+
+ private:
+  /// Headroom band: walk up below the lower edge, down above the upper edge.
+  static constexpr double kLowWater = 0.85;
+  static constexpr double kHighWater = 0.98;
+
+  Joules budget_;
+  int max_channels_;
+  Joules spent_ = 0.0;
+  Joules projected_ = 0.0;
+  double smoothed_jpb_ = 0.0;  ///< marginal joules per byte, smoothed
+  double jpb_before_move_ = 0.0;
+  int level_ = 1;
+  int hold_ = 0;        ///< settle windows after a level change
+  int last_move_ = 0;   ///< -1/0/+1: direction of the last level change
+  bool probing_for_savings_ = false;  ///< last move was a cost-cutting probe
+  bool savings_blocked_ = false;      ///< probes failed: at the jpb minimum
+};
+
+}  // namespace eadt::core

@@ -1,0 +1,144 @@
+#include "core/model_based.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace eadt::core {
+
+std::optional<ThroughputCurve> fit_throughput_curve(
+    std::span<const std::pair<int, double>> probes) {
+  // Linearise: 1/T = 1/t_max + (k/t_max)*(1/c); fit y = a + b*x.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  int distinct = 0;
+  int last_level = -1;
+  for (const auto& [level, thr] : probes) {
+    if (level <= 0 || thr <= 0.0) continue;
+    rows.push_back({1.0, 1.0 / static_cast<double>(level)});
+    y.push_back(1.0 / thr);
+    if (level != last_level) {
+      ++distinct;
+      last_level = level;
+    }
+  }
+  if (distinct < 2) return std::nullopt;
+  const auto fit = fit_linear(rows, y);
+  if (!fit) return std::nullopt;
+  const double a = fit->coefficients[0];  // 1/t_max
+  const double b = fit->coefficients[1];  // k/t_max
+  if (a <= 0.0) return std::nullopt;      // non-saturating / decreasing data
+  ThroughputCurve curve;
+  curve.t_max = 1.0 / a;
+  curve.k = std::max(0.0, b / a);
+  return curve;
+}
+
+std::optional<PowerCurve> fit_power_curve(
+    std::span<const std::pair<int, double>> probes) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  int distinct = 0;
+  int last_level = -1;
+  for (const auto& [level, power] : probes) {
+    if (level <= 0 || power <= 0.0) continue;
+    const double c = static_cast<double>(level);
+    rows.push_back({1.0, c, c * c});
+    y.push_back(power);
+    if (level != last_level) {
+      ++distinct;
+      last_level = level;
+    }
+  }
+  if (distinct < 3) {
+    // Fall back to a line through the data (p2 = 0) with two levels.
+    if (distinct < 2) return std::nullopt;
+    for (auto& r : rows) r.pop_back();
+    const auto fit = fit_linear(rows, y);
+    if (!fit) return std::nullopt;
+    return PowerCurve{fit->coefficients[0], fit->coefficients[1], 0.0};
+  }
+  const auto fit = fit_linear(rows, y);
+  if (!fit) return std::nullopt;
+  return PowerCurve{fit->coefficients[0], fit->coefficients[1], fit->coefficients[2]};
+}
+
+int best_ratio_level(const ThroughputCurve& throughput, const PowerCurve& power,
+                     int max_level, int fallback) {
+  int best = fallback;
+  double best_ratio = -1.0;
+  for (int c = 1; c <= std::max(1, max_level); ++c) {
+    const double t = throughput.predict(c);
+    const double p = power.predict(c);
+    if (t <= 0.0 || p <= 0.0) continue;
+    const double ratio = t / p;
+    if (ratio > best_ratio) {
+      best_ratio = ratio;
+      best = c;
+    }
+  }
+  return best;
+}
+
+ModelBasedController::ModelBasedController(int max_channels)
+    : max_channels_(std::max(1, max_channels)) {
+  const int mid = std::clamp((max_channels_ + 1) / 2, 1, max_channels_);
+  probes_ = {1};
+  if (mid > 1) probes_.push_back(mid);
+  if (max_channels_ > mid) probes_.push_back(max_channels_);
+}
+
+void ModelBasedController::on_sample(proto::TransferSession& session,
+                                     const proto::SampleStats& stats) {
+  if (!searching_) return;
+  if (!warmed_up_) {
+    // The very first window is cold (slow start, channel setup) and would
+    // bias the level-1 probe low; measure from the second window.
+    warmed_up_ = true;
+    return;
+  }
+  const int level = probes_[next_probe_];
+  if (stats.bytes > 0 && stats.duration() > 0.0) {
+    throughput_samples_.emplace_back(level, stats.throughput());
+    power_samples_.emplace_back(level, stats.end_system_energy / stats.duration());
+  }
+  ++next_probe_;
+  if (next_probe_ < probes_.size()) {
+    session.set_total_concurrency(probes_[next_probe_]);
+    return;
+  }
+
+  searching_ = false;
+  // The saturating law only models *rising* throughput. On a thrashing
+  // single disk throughput falls with the level; fitting would flatten the
+  // curve and erase exactly the information that matters, so detect the
+  // inversion and score the probes directly instead.
+  bool decreasing = false;
+  if (throughput_samples_.size() >= 2) {
+    decreasing = throughput_samples_.back().second <
+                 throughput_samples_.front().second * 0.9;
+  }
+  const auto t_curve =
+      decreasing ? std::nullopt : fit_throughput_curve(throughput_samples_);
+  const auto p_curve = fit_power_curve(power_samples_);
+  if (t_curve && p_curve) {
+    chosen_level_ = best_ratio_level(*t_curve, *p_curve, max_channels_, probes_.back());
+  } else {
+    // Degenerate probes (e.g. a LAN where throughput *falls* with level):
+    // pick the best probed ratio directly.
+    double best = -1.0;
+    chosen_level_ = 1;
+    for (std::size_t i = 0; i < throughput_samples_.size(); ++i) {
+      const double ratio = throughput_samples_[i].second /
+                           std::max(1e-9, power_samples_[i].second);
+      if (ratio > best) {
+        best = ratio;
+        chosen_level_ = throughput_samples_[i].first;
+      }
+    }
+  }
+  session.set_total_concurrency(chosen_level_);
+}
+
+}  // namespace eadt::core

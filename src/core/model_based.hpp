@@ -1,0 +1,85 @@
+// Model-based concurrency tuning — an extension of HTEE in the direction the
+// paper's related work points (model the parameter/throughput relationship
+// instead of searching it).
+//
+// HTEE probes every other concurrency level (1, 3, 5, ... <= max), spending
+// ~max/2 sampling windows before committing. But both response curves have
+// known shapes:
+//
+//   throughput:  T(c) ~= Tmax * c / (c + k)        (saturating growth)
+//   power:       P(c) ~= p0 + p1*c + p2*c^2        (contention quadratic)
+//
+// Three probes (1, mid, max) pin both curves, and the best
+// throughput/power ratio is found analytically over the integer levels.
+// The ModelBasedController spends 3 windows instead of HTEE's ~max/2 and is
+// compared head-to-head in bench/model_based_tuning.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "proto/plan.hpp"
+#include "proto/session.hpp"
+
+namespace eadt::core {
+
+/// Saturating throughput curve T(c) = t_max * c / (c + k).
+struct ThroughputCurve {
+  double t_max = 0.0;
+  double k = 0.0;
+
+  [[nodiscard]] double predict(double c) const {
+    return c > 0.0 && c + k > 0.0 ? t_max * c / (c + k) : 0.0;
+  }
+};
+
+/// Least-squares fit of the saturating curve from (level, throughput) probes
+/// via the linearisation 1/T = 1/t_max + (k/t_max) * (1/c).
+/// Needs >= 2 distinct levels with positive throughput; rejects degenerate
+/// fits (non-positive t_max or k < 0 collapses to a flat line at max).
+[[nodiscard]] std::optional<ThroughputCurve> fit_throughput_curve(
+    std::span<const std::pair<int, double>> probes);
+
+/// Quadratic power curve P(c) = p0 + p1*c + p2*c^2, least squares.
+struct PowerCurve {
+  double p0 = 0.0, p1 = 0.0, p2 = 0.0;
+  [[nodiscard]] double predict(double c) const { return p0 + p1 * c + p2 * c * c; }
+};
+
+[[nodiscard]] std::optional<PowerCurve> fit_power_curve(
+    std::span<const std::pair<int, double>> probes);
+
+/// argmax over 1..max_level of T(c)/P(c); falls back to `fallback` when the
+/// fits are unusable.
+[[nodiscard]] int best_ratio_level(const ThroughputCurve& throughput,
+                                   const PowerCurve& power, int max_level,
+                                   int fallback = 1);
+
+/// The runtime controller: probes {1, mid, max}, fits, commits.
+class ModelBasedController final : public proto::Controller {
+ public:
+  explicit ModelBasedController(int max_channels);
+
+  std::optional<int> initial_concurrency() override { return probes_[0]; }
+  void on_sample(proto::TransferSession& session, const proto::SampleStats& stats) override;
+
+  [[nodiscard]] int chosen_level() const noexcept { return chosen_level_; }
+  [[nodiscard]] bool search_finished() const noexcept { return !searching_; }
+  [[nodiscard]] int probe_count() const noexcept {
+    return static_cast<int>(probes_.size());
+  }
+
+ private:
+  int max_channels_;
+  std::vector<int> probes_;
+  std::size_t next_probe_ = 0;
+  std::vector<std::pair<int, double>> throughput_samples_;
+  std::vector<std::pair<int, double>> power_samples_;
+  bool warmed_up_ = false;
+  bool searching_ = true;
+  int chosen_level_ = 1;
+};
+
+}  // namespace eadt::core

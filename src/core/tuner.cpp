@@ -1,0 +1,75 @@
+#include "core/tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace eadt::core {
+namespace {
+
+int ceil_div(Bytes a, Bytes b) {
+  if (b == 0) return 1;
+  return static_cast<int>((a + b - 1) / b);
+}
+
+}  // namespace
+
+int pipelining_level(Bytes bdp, Bytes avg_file_size) {
+  if (avg_file_size == 0) return kMaxPipelining;
+  return std::clamp(ceil_div(bdp, avg_file_size), 1, kMaxPipelining);
+}
+
+int parallelism_level(Bytes bdp, Bytes avg_file_size, Bytes buffer_size) {
+  if (buffer_size == 0) return 1;
+  const int by_bdp = ceil_div(bdp, buffer_size);
+  const int by_file = ceil_div(avg_file_size, buffer_size);
+  return std::max(std::min(by_bdp, by_file), 1);
+}
+
+int concurrency_level(Bytes bdp, Bytes avg_file_size, int avail_channels) {
+  const int by_size = avg_file_size == 0 ? avail_channels : ceil_div(bdp, avg_file_size);
+  const int by_avail = (avail_channels + 1 + 1) / 2;  // ceil((avail + 1) / 2)
+  return std::max(0, std::min(by_size, by_avail));
+}
+
+std::vector<double> chunk_weights(const std::vector<proto::Chunk>& chunks) {
+  std::vector<double> w(chunks.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    // Guard the degenerate single-file / single-byte chunk: log() of <= 1
+    // would zero or negate the weight.
+    const double size = std::max<double>(2.0, static_cast<double>(chunks[i].total));
+    const double count = std::max<double>(2.0, static_cast<double>(chunks[i].file_count()));
+    w[i] = std::log(size) * std::log(count);
+    total += w[i];
+  }
+  if (total > 0.0) {
+    for (auto& v : w) v /= total;
+  }
+  return w;
+}
+
+std::vector<int> allocate_channels_by_weight(const std::vector<proto::Chunk>& chunks,
+                                             int max_channels, bool ensure_total) {
+  const auto weights = chunk_weights(chunks);
+  std::vector<int> alloc(chunks.size(), 0);
+  std::vector<std::pair<double, std::size_t>> fracs;
+  int used = 0;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const double share = static_cast<double>(max_channels) * weights[i];
+    alloc[i] = static_cast<int>(std::floor(share));
+    used += alloc[i];
+    fracs.emplace_back(share - std::floor(share), i);
+  }
+  if (ensure_total) {
+    std::sort(fracs.begin(), fracs.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    for (std::size_t k = 0; used < max_channels && k < fracs.size(); ++k, ++used) {
+      ++alloc[fracs[k].second];
+    }
+  }
+  return alloc;
+}
+
+}  // namespace eadt::core

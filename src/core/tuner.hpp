@@ -1,0 +1,38 @@
+// The application-layer parameter formulas shared by the paper's algorithms
+// (Algorithm 1, lines 8-10):
+//
+//   pipelining  = ceil(BDP / avgFileSize)
+//   parallelism = max(min(ceil(BDP / bufSize), ceil(avgFileSize / bufSize)), 1)
+//   concurrency = min(ceil(BDP / avgFileSize), ceil((availChannel + 1) / 2))
+//
+// Small chunks get deep pipelining (many small commands in flight) and a
+// single stream; Large chunks get parallelism sized to fill the pipe when the
+// TCP buffer is below the BDP, and shallow pipelining.
+#pragma once
+
+#include <vector>
+
+#include "proto/dataset.hpp"
+#include "util/units.hpp"
+
+namespace eadt::core {
+
+/// Defensive ceiling on pipelining depth (the formula is unbounded as
+/// avgFileSize -> 0; real control channels cap outstanding commands).
+inline constexpr int kMaxPipelining = 512;
+
+[[nodiscard]] int pipelining_level(Bytes bdp, Bytes avg_file_size);
+[[nodiscard]] int parallelism_level(Bytes bdp, Bytes avg_file_size, Bytes buffer_size);
+[[nodiscard]] int concurrency_level(Bytes bdp, Bytes avg_file_size, int avail_channels);
+
+/// HTEE / ProMC chunk weights (Algorithm 2, lines 7-12):
+///   weight_i = log(size_i) * log(fileCount_i), normalised;
+///   channels_i = floor(maxChannel * weight_i).
+/// `ensure_total` redistributes the flooring remainder (largest fractional
+/// part first) so the counts sum to max_channels — ProMC uses the full budget,
+/// HTEE's paper-faithful allocation (floor only) passes false.
+[[nodiscard]] std::vector<double> chunk_weights(const std::vector<proto::Chunk>& chunks);
+[[nodiscard]] std::vector<int> allocate_channels_by_weight(
+    const std::vector<proto::Chunk>& chunks, int max_channels, bool ensure_total);
+
+}  // namespace eadt::core

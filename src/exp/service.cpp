@@ -1,0 +1,127 @@
+#include "exp/service.hpp"
+
+#include <algorithm>
+
+#include "baselines/baselines.hpp"
+#include "core/algorithms.hpp"
+#include "core/energy_budget.hpp"
+
+namespace eadt::exp {
+
+const char* to_string(JobPolicy policy) noexcept {
+  switch (policy) {
+    case JobPolicy::kDeadline: return "deadline";
+    case JobPolicy::kGreen: return "green";
+    case JobPolicy::kBalanced: return "balanced";
+    case JobPolicy::kSla: return "sla";
+    case JobPolicy::kEnergyBudget: return "energy-budget";
+  }
+  return "?";
+}
+
+TransferService::TransferService(testbeds::Testbed testbed, BitsPerSecond reference_rate,
+                                 proto::SessionConfig config)
+    : testbed_(std::move(testbed)), reference_rate_(reference_rate), config_(config) {
+  if (reference_rate_ <= 0.0) {
+    // Measure the site's best case once, on its own dataset recipe.
+    const auto probe = testbed_.make_dataset();
+    proto::TransferSession session(
+        testbed_.env, probe,
+        baselines::plan_promc(testbed_.env, probe, testbed_.default_max_channels),
+        config_);
+    reference_rate_ = session.run().avg_throughput();
+  }
+}
+
+JobOutcome TransferService::run_job(const TransferJob& job) const {
+  JobOutcome out;
+  out.name = job.name;
+  out.policy = job.policy;
+  const auto& env = testbed_.env;
+  const int cc = std::max(1, job.max_channels);
+
+  switch (job.policy) {
+    case JobPolicy::kDeadline: {
+      proto::TransferSession s(env, job.dataset,
+                               baselines::plan_promc(env, job.dataset, cc), config_);
+      out.result = s.run();
+      break;
+    }
+    case JobPolicy::kGreen: {
+      proto::TransferSession s(env, job.dataset,
+                               core::plan_min_energy(env, job.dataset, cc), config_);
+      out.result = s.run();
+      break;
+    }
+    case JobPolicy::kBalanced: {
+      core::HteeController ctl(cc);
+      proto::TransferSession s(env, job.dataset, core::plan_htee(env, job.dataset, cc),
+                               config_);
+      out.result = s.run(&ctl);
+      break;
+    }
+    case JobPolicy::kSla: {
+      const BitsPerSecond target = reference_rate_ * job.sla_percent / 100.0;
+      core::SlaeeController ctl(target, cc);
+      proto::TransferSession s(env, job.dataset, core::plan_slaee(env, job.dataset, cc),
+                               config_);
+      out.result = s.run(&ctl);
+      out.sla_met = out.result.avg_throughput() >= target * 0.93;  // paper's ~7 % band
+      break;
+    }
+    case JobPolicy::kEnergyBudget: {
+      core::EnergyBudgetController ctl(job.energy_budget, cc);
+      proto::TransferSession s(env, job.dataset,
+                               baselines::plan_promc(env, job.dataset, cc), config_);
+      out.result = s.run(&ctl);
+      break;
+    }
+  }
+  return out;
+}
+
+ServiceReport TransferService::run_queue(std::vector<TransferJob> jobs,
+                                         QueueOrder order) {
+  switch (order) {
+    case QueueOrder::kFifo:
+      break;
+    case QueueOrder::kShortestFirst:
+      std::stable_sort(jobs.begin(), jobs.end(),
+                       [](const TransferJob& a, const TransferJob& b) {
+                         return a.dataset.total_bytes() < b.dataset.total_bytes();
+                       });
+      break;
+    case QueueOrder::kGreenFirst:
+      std::stable_sort(jobs.begin(), jobs.end(),
+                       [](const TransferJob& a, const TransferJob& b) {
+                         const auto rank = [](JobPolicy p) {
+                           return p == JobPolicy::kGreen ? 0 : 1;
+                         };
+                         return rank(a.policy) < rank(b.policy);
+                       });
+      break;
+  }
+
+  ServiceReport report;
+  report.reference_rate = reference_rate_;
+  Seconds clock = 0.0;
+  for (const auto& job : jobs) {
+    JobOutcome out = run_job(job);
+    out.queued_at = clock;
+    clock += out.result.duration;
+    out.finished_at = clock;
+    if (tariff_) {
+      out.cost_usd = tariff_->cost(out.result.end_system_energy,
+                                   queue_start_time_ + out.queued_at,
+                                   out.result.duration);
+      report.total_cost_usd += out.cost_usd;
+    }
+    report.total_bytes += out.result.bytes;
+    report.total_energy += out.result.end_system_energy;
+    report.jobs.push_back(std::move(out));
+  }
+  report.makespan = clock;
+  return report;
+}
+
+}  // namespace eadt::exp

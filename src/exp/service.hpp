@@ -1,0 +1,102 @@
+// A transfer service: the provider-side layer the paper's SLA discussion
+// implies. Jobs (dataset + policy) queue on a testbed whose DTNs run one
+// transfer at a time; each job picks its algorithm from its policy:
+//
+//   kDeadline     — ProMC at full concurrency (fastest finish)
+//   kGreen        — MinE (least energy, no performance promise)
+//   kBalanced     — HTEE (best throughput/energy operating point)
+//   kSla          — SLAEE against a fraction of the service's reference rate
+//   kEnergyBudget — EnergyBudgetController under a per-job Joule cap
+//
+// The service reports per-job and aggregate outcomes (makespan, energy,
+// achieved rates) plus queue ordering support (FIFO / shortest-bytes-first /
+// green-jobs-first), which is what a provider tunes against its power bill.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <optional>
+
+#include "power/tariff.hpp"
+#include "proto/session.hpp"
+#include "testbeds/testbeds.hpp"
+
+namespace eadt::exp {
+
+enum class JobPolicy { kDeadline, kGreen, kBalanced, kSla, kEnergyBudget };
+
+[[nodiscard]] const char* to_string(JobPolicy policy) noexcept;
+
+struct TransferJob {
+  std::string name;
+  proto::Dataset dataset;
+  JobPolicy policy = JobPolicy::kBalanced;
+  /// kSla: required fraction (percent) of the service's reference rate.
+  double sla_percent = 90.0;
+  /// kEnergyBudget: end-system Joule cap for this job.
+  Joules energy_budget = 0.0;
+  int max_channels = 12;
+};
+
+struct JobOutcome {
+  std::string name;
+  JobPolicy policy = JobPolicy::kBalanced;
+  Seconds queued_at = 0.0;   ///< service-timeline start
+  Seconds finished_at = 0.0;
+  proto::RunResult result;
+  bool sla_met = true;       ///< kSla only; true otherwise
+  double cost_usd = 0.0;     ///< 0 unless the service has a tariff
+
+  [[nodiscard]] double throughput_mbps() const {
+    return to_mbps(result.avg_throughput());
+  }
+};
+
+struct ServiceReport {
+  std::vector<JobOutcome> jobs;
+  Seconds makespan = 0.0;
+  Bytes total_bytes = 0;
+  Joules total_energy = 0.0;
+  double total_cost_usd = 0.0;         ///< 0 unless the service has a tariff
+  BitsPerSecond reference_rate = 0.0;  ///< the ProMC max SLA jobs are scored against
+};
+
+enum class QueueOrder {
+  kFifo,
+  kShortestFirst,  ///< fewest bytes first (classic makespan heuristic)
+  kGreenFirst,     ///< energy-minimising jobs first (off-peak shaping)
+};
+
+class TransferService {
+ public:
+  /// `reference_rate` = 0 measures it (one ProMC run at default channels).
+  explicit TransferService(testbeds::Testbed testbed,
+                           BitsPerSecond reference_rate = 0.0,
+                           proto::SessionConfig config = {});
+
+  /// Run all jobs back to back in the given order. Deterministic.
+  [[nodiscard]] ServiceReport run_queue(std::vector<TransferJob> jobs,
+                                        QueueOrder order = QueueOrder::kFifo);
+
+  [[nodiscard]] BitsPerSecond reference_rate() const noexcept { return reference_rate_; }
+
+  /// Attach an electricity tariff; job costs are integrated over their slot
+  /// in the service timeline, which starts at `queue_start_time` (seconds
+  /// since midnight — a 22:00 start puts the queue into the off-peak window).
+  void set_tariff(power::Tariff tariff, Seconds queue_start_time = 0.0) {
+    tariff_ = std::move(tariff);
+    queue_start_time_ = queue_start_time;
+  }
+
+ private:
+  [[nodiscard]] JobOutcome run_job(const TransferJob& job) const;
+
+  testbeds::Testbed testbed_;
+  BitsPerSecond reference_rate_ = 0.0;
+  proto::SessionConfig config_;
+  std::optional<power::Tariff> tariff_;
+  Seconds queue_start_time_ = 0.0;
+};
+
+}  // namespace eadt::exp

@@ -1,0 +1,27 @@
+#include "exp/trace.hpp"
+
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace eadt::exp {
+
+void TickRecorder::on_tick(const proto::TickTrace& trace) {
+  if (seen_++ % static_cast<std::size_t>(stride_) == 0) {
+    traces_.push_back(trace);
+  }
+}
+
+void TickRecorder::write_csv(std::ostream& os) const {
+  Table t({"time_s", "goodput_mbps", "power_w", "open_channels", "busy_channels"});
+  for (const auto& trace : traces_) {
+    int busy = 0;
+    for (const auto& ch : trace.channels) busy += ch.busy ? 1 : 0;
+    t.add_row({Table::num(trace.time, 2), Table::num(to_mbps(trace.goodput), 1),
+               Table::num(trace.end_system_power, 1),
+               std::to_string(trace.open_channels), std::to_string(busy)});
+  }
+  t.render_csv(os);
+}
+
+}  // namespace eadt::exp

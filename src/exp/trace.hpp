@@ -1,0 +1,35 @@
+// TickRecorder: collects a session's tick-level trace and exports it as CSV
+// (time, goodput, power, channel count, per-chunk busy counts) — the raw
+// material behind the debugging narratives in docs/MODEL.md.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "proto/observer.hpp"
+
+namespace eadt::exp {
+
+class TickRecorder final : public proto::SessionObserver {
+ public:
+  /// Record every `stride`-th tick (1 = all; 10 with the default 100 ms tick
+  /// records once per second).
+  explicit TickRecorder(int stride = 1) : stride_(stride < 1 ? 1 : stride) {}
+
+  void on_tick(const proto::TickTrace& trace) override;
+
+  [[nodiscard]] const std::vector<proto::TickTrace>& traces() const noexcept {
+    return traces_;
+  }
+  [[nodiscard]] std::size_t ticks_seen() const noexcept { return seen_; }
+
+  /// time_s,goodput_mbps,power_w,open_channels,busy_channels
+  void write_csv(std::ostream& os) const;
+
+ private:
+  int stride_;
+  std::size_t seen_ = 0;
+  std::vector<proto::TickTrace> traces_;
+};
+
+}  // namespace eadt::exp

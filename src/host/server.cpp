@@ -1,0 +1,83 @@
+#include "host/server.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace eadt::host {
+
+BitsPerSecond disk_aggregate_bandwidth(const DiskSpec& disk, int k) {
+  if (k <= 0 || disk.max_bandwidth <= 0.0) return 0.0;
+  switch (disk.kind) {
+    case DiskKind::kParallelArray: {
+      const double kk = static_cast<double>(k);
+      return disk.max_bandwidth * kk / (kk + disk.ramp);
+    }
+    case DiskKind::kSingleDisk: {
+      const double kk = static_cast<double>(k);
+      return disk.max_bandwidth / (1.0 + disk.thrash_alpha * (kk - 1.0));
+    }
+  }
+  return 0.0;
+}
+
+double context_switch_factor(const ServerSpec& spec, int threads) {
+  if (threads <= spec.cores || spec.cores <= 0) return 1.0;
+  const double over = static_cast<double>(threads - spec.cores) /
+                      static_cast<double>(spec.cores);
+  return 1.0 + spec.cs_alpha * over;
+}
+
+BitsPerSecond channel_cpu_cap(const ServerSpec& spec, int processes, int threads,
+                              int parallelism) {
+  if (processes <= 0 || spec.per_core_goodput <= 0.0) return 0.0;
+  const int p = std::max(1, parallelism);
+  const int total_threads = std::max(threads, p);
+  // Core share available to this channel's streams: each stream can occupy at
+  // most one core, and the core pool is divided across all streams.
+  const double core_share = std::min(
+      static_cast<double>(p),
+      static_cast<double>(p) * static_cast<double>(spec.cores) /
+          static_cast<double>(std::max(total_threads, spec.cores)));
+  return spec.per_core_goodput * core_share / context_switch_factor(spec, total_threads);
+}
+
+BitsPerSecond channel_stream_cap(const ServerSpec& spec, int parallelism) {
+  if (spec.per_stream_disk <= 0.0) return std::numeric_limits<double>::infinity();
+  return spec.per_stream_disk * static_cast<double>(std::max(1, parallelism));
+}
+
+int active_cores(const ServerSpec& spec, const HostLoad& load) {
+  if (load.processes <= 0) return 0;
+  const int busy = std::max(load.processes, load.threads > 0 ? load.threads : 1);
+  return std::clamp(busy, 1, spec.cores);
+}
+
+Utilization utilization(const ServerSpec& spec, const HostLoad& load) {
+  Utilization u;
+  if (load.processes <= 0) return u;
+
+  const double gbps = to_gbps(load.goodput);
+  const double contention =
+      1.0 + spec.util_contention * static_cast<double>(load.processes - 1);
+  double cpu = static_cast<double>(load.processes) * spec.proc_base_util +
+               gbps * spec.util_per_gbps * contention;
+  if (load.threads > spec.cores) {
+    cpu += static_cast<double>(load.threads - spec.cores) * spec.cs_util_per_thread;
+  }
+  u.cpu = std::clamp(cpu, 0.0, 1.0);
+
+  double mem = spec.mem_base_util + gbps * spec.mem_util_per_gbps;
+  if (spec.mem_total > 0) {
+    mem += static_cast<double>(load.buffered) / static_cast<double>(spec.mem_total);
+  }
+  u.mem = std::clamp(mem, 0.0, 1.0);
+
+  const BitsPerSecond disk_max = disk_aggregate_bandwidth(spec.disk, 1) > 0.0
+                                     ? spec.disk.max_bandwidth
+                                     : 0.0;
+  u.disk = disk_max > 0.0 ? std::clamp(load.disk_io / disk_max, 0.0, 1.0) : 0.0;
+  u.nic = spec.nic_speed > 0.0 ? std::clamp(load.goodput / spec.nic_speed, 0.0, 1.0) : 0.0;
+  return u;
+}
+
+}  // namespace eadt::host

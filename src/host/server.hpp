@@ -1,0 +1,104 @@
+// End-system (data transfer node) model.
+//
+// Maps what a transfer *does* on a server — resident processes (one per data
+// channel), threads (parallel streams), pushed throughput, buffered memory —
+// to component utilizations (CPU / memory / disk / NIC) and to throughput
+// caps. The power models in src/power consume these utilizations exactly as
+// the paper's models consume OS-reported utilization (Section 2.2).
+#pragma once
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace eadt::host {
+
+enum class DiskKind {
+  kParallelArray,  ///< striped/parallel storage: aggregate IO grows with concurrency
+  kSingleDisk,     ///< one spindle: concurrent access causes seek thrash
+};
+
+struct DiskSpec {
+  DiskKind kind = DiskKind::kParallelArray;
+  BitsPerSecond max_bandwidth = 0.0;
+  /// kParallelArray: concurrency ramp constant; aggregate = max * k / (k + ramp).
+  double ramp = 4.0;
+  /// kSingleDisk: thrash slope; aggregate = max / (1 + alpha * (k - 1)).
+  double thrash_alpha = 0.12;
+};
+
+struct ServerSpec {
+  std::string name;
+  int cores = 4;
+  Watts cpu_tdp = 115.0;
+  BitsPerSecond nic_speed = 0.0;
+  Bytes mem_total = 32ULL * 1024 * 1024 * 1024;
+  DiskSpec disk;
+
+  /// Protocol-processing throughput one fully-loaded core can sustain.
+  BitsPerSecond per_core_goodput = 0.0;
+  /// Single-stream storage ceiling: one stream reads/writes one file region
+  /// at this rate at most (striped file systems included). A channel with p
+  /// streams tops out at p times this, no matter how idle the server is.
+  /// 0 disables the ceiling.
+  BitsPerSecond per_stream_disk = 0.0;
+  /// CPU utilization (whole machine, 0-1) per resident transfer process.
+  double proc_base_util = 0.015;
+  /// CPU utilization per Gbps of goodput pushed (single resident process).
+  double util_per_gbps = 0.08;
+  /// Contention growth of the per-Gbps cost: with k resident transfer
+  /// processes the effective cost is util_per_gbps * (1 + util_contention *
+  /// (k - 1)) — cache thrash, interrupt spreading and scheduler churn make a
+  /// byte moved by a crowded server dearer than one moved by a lone channel.
+  /// This is what lets MinE's single-channel Large chunk move most of the
+  /// bytes cheaply while a 12-channel ProMC run pays a premium per byte.
+  double util_contention = 0.05;
+  /// Context-switch throughput penalty slope once threads exceed cores.
+  double cs_alpha = 0.05;
+  /// Extra CPU utilization per oversubscribed thread (scheduling overhead).
+  double cs_util_per_thread = 0.01;
+  double mem_base_util = 0.05;
+  double mem_util_per_gbps = 0.01;
+};
+
+/// What a transfer currently imposes on one server (one fluid tick's view).
+struct HostLoad {
+  int processes = 0;         ///< resident data channels
+  int threads = 0;           ///< total parallel streams
+  BitsPerSecond goodput = 0.0;
+  BitsPerSecond disk_io = 0.0;
+  Bytes buffered = 0;        ///< TCP buffers pinned by the channels
+};
+
+/// Component utilizations, each clamped to [0, 1].
+struct Utilization {
+  double cpu = 0.0;
+  double mem = 0.0;
+  double disk = 0.0;
+  double nic = 0.0;
+};
+
+/// Aggregate disk bandwidth available when `k` channels access storage.
+[[nodiscard]] BitsPerSecond disk_aggregate_bandwidth(const DiskSpec& disk, int k);
+
+/// Context-switch slowdown factor (>= 1) for `threads` on `cores`.
+[[nodiscard]] double context_switch_factor(const ServerSpec& spec, int threads);
+
+/// CPU-side goodput cap for ONE channel running `parallelism` streams while
+/// the server hosts `processes` channels / `threads` streams in total.
+/// A channel's streams can spread over multiple cores, but all channels share
+/// the core pool and pay the oversubscription penalty.
+[[nodiscard]] BitsPerSecond channel_cpu_cap(const ServerSpec& spec, int processes,
+                                            int threads, int parallelism);
+
+/// Storage-side ceiling for one channel of `parallelism` streams
+/// (+infinity when the spec disables it).
+[[nodiscard]] BitsPerSecond channel_stream_cap(const ServerSpec& spec, int parallelism);
+
+/// Number of "active cores" n used by the Eq. 2 CPU power coefficient.
+[[nodiscard]] int active_cores(const ServerSpec& spec, const HostLoad& load);
+
+/// Map a load to component utilizations.
+[[nodiscard]] Utilization utilization(const ServerSpec& spec, const HostLoad& load);
+
+}  // namespace eadt::host

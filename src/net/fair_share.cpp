@@ -1,0 +1,59 @@
+#include "net/fair_share.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace eadt::net {
+
+FairShareResult fair_share(BitsPerSecond capacity, std::span<const Demand> demands) {
+  FairShareResult out;
+  out.allocation.assign(demands.size(), 0.0);
+  if (demands.empty() || capacity <= 0.0) return out;
+
+  std::vector<std::size_t> active;
+  active.reserve(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (demands[i].cap > 0.0 && demands[i].weight > 0.0) active.push_back(i);
+  }
+
+  BitsPerSecond remaining = capacity;
+  // Progressive filling: each round gives every active channel its weighted
+  // share; channels that hit their cap leave, freeing capacity for the rest.
+  // Terminates in <= |demands| rounds because each round removes >= 1 channel
+  // or stops.
+  while (!active.empty() && remaining > 1e-9) {
+    double weight_sum = 0.0;
+    for (std::size_t i : active) weight_sum += demands[i].weight;
+    if (weight_sum <= 0.0) break;
+
+    bool someone_capped = false;
+    std::vector<std::size_t> still_active;
+    still_active.reserve(active.size());
+    const BitsPerSecond per_weight = remaining / weight_sum;
+    for (std::size_t i : active) {
+      const BitsPerSecond share = per_weight * demands[i].weight;
+      const BitsPerSecond headroom = demands[i].cap - out.allocation[i];
+      if (headroom <= share) {
+        out.allocation[i] = demands[i].cap;
+        remaining -= headroom;
+        someone_capped = true;
+      } else {
+        still_active.push_back(i);
+      }
+    }
+    if (!someone_capped) {
+      // Nobody capped: everyone takes the fair share and we are done.
+      for (std::size_t i : still_active) {
+        out.allocation[i] += per_weight * demands[i].weight;
+      }
+      remaining = 0.0;
+      break;
+    }
+    active = std::move(still_active);
+  }
+
+  out.total = std::accumulate(out.allocation.begin(), out.allocation.end(), 0.0);
+  return out;
+}
+
+}  // namespace eadt::net

@@ -1,0 +1,35 @@
+// Weighted max-min fair bandwidth allocation.
+//
+// Each data channel offers a demand (its own CPU/disk/window cap) and a weight
+// (its parallel stream count); the bottleneck capacity is divided by
+// progressive filling: channels that cannot use their fair share are capped
+// and the residue is redistributed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace eadt::net {
+
+struct Demand {
+  BitsPerSecond cap = 0.0;  ///< most this channel could use
+  double weight = 1.0;      ///< share weight (parallel stream count)
+};
+
+struct FairShareResult {
+  std::vector<BitsPerSecond> allocation;  ///< per-demand rate, same order
+  BitsPerSecond total = 0.0;              ///< sum of allocations
+};
+
+/// Weighted max-min fair allocation of `capacity` across `demands`.
+/// Properties (asserted by tests):
+///   * allocation[i] <= demands[i].cap
+///   * total <= capacity (+ epsilon)
+///   * work-conserving: total == min(capacity, sum of caps)
+///   * unconstrained channels receive rate proportional to weight
+[[nodiscard]] FairShareResult fair_share(BitsPerSecond capacity,
+                                         std::span<const Demand> demands);
+
+}  // namespace eadt::net

@@ -1,0 +1,122 @@
+#include "net/packet_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace eadt::net {
+namespace {
+
+struct Flow {
+  double cwnd = 1.0;      // segments
+  double ssthresh = 0.0;  // segments
+  double delivered = 0.0;
+  double losses = 0.0;
+};
+
+}  // namespace
+
+PacketSimResult simulate_tcp_rounds(const PacketSimConfig& config, int rounds) {
+  PacketSimResult result;
+  if (rounds <= 0 || config.flows <= 0 || config.mss == 0 ||
+      config.path.bandwidth <= 0.0 || config.path.rtt <= 0.0) {
+    return result;
+  }
+
+  const double seg_bits = to_bits(config.mss);
+  // Pipe capacity per round in segments, and the drop-tail queue behind it.
+  const double pipe = config.path.bandwidth * config.path.rtt / seg_bits;
+  const double queue = std::max(1.0, pipe * config.queue_bdp_fraction);
+  const double wnd_max =
+      std::max(1.0, static_cast<double>(config.path.tcp_buffer) /
+                        static_cast<double>(config.mss));
+
+  std::vector<Flow> flows(static_cast<std::size_t>(config.flows));
+  for (auto& f : flows) {
+    f.cwnd = std::min(static_cast<double>(config.initial_window), wnd_max);
+    f.ssthresh = wnd_max;  // first loss will set the real threshold
+  }
+
+  std::vector<double> per_round(static_cast<std::size_t>(rounds), 0.0);
+  for (int r = 0; r < rounds; ++r) {
+    double offered = 0.0;
+    for (const auto& f : flows) offered += std::min(f.cwnd, wnd_max);
+    if (offered <= 0.0) break;
+
+    // The link drains at most `pipe` segments per RTT; beyond pipe + queue
+    // the tail drops, spread across flows in proportion to their windows.
+    const double drain_share = std::min(1.0, pipe / offered);
+    const double overflow = std::max(0.0, offered - (pipe + queue));
+
+    double round_delivered = 0.0;
+    for (auto& f : flows) {
+      const double sent = std::min(f.cwnd, wnd_max);
+      const double delivered = sent * drain_share;
+      f.delivered += delivered;
+      round_delivered += delivered;
+
+      if (overflow > 0.0) {
+        // Loss round: multiplicative decrease.
+        f.losses += overflow * (sent / offered);
+        f.ssthresh = std::max(2.0, f.cwnd / 2.0);
+        f.cwnd = f.ssthresh;
+      } else if (f.cwnd < f.ssthresh) {
+        f.cwnd = std::min({f.cwnd * 2.0, f.ssthresh, wnd_max});  // slow start
+      } else {
+        f.cwnd = std::min(f.cwnd + 1.0, wnd_max);  // congestion avoidance
+      }
+    }
+    per_round[static_cast<std::size_t>(r)] = round_delivered;
+  }
+
+  result.rounds = rounds;
+  result.simulated_time = static_cast<double>(rounds) * config.path.rtt;
+  result.flows.reserve(flows.size());
+  double total_segments = 0.0;
+  for (const auto& f : flows) {
+    FlowStats stats;
+    stats.segments_delivered = f.delivered;
+    stats.losses = f.losses;
+    stats.final_cwnd = f.cwnd;
+    stats.goodput = f.delivered * seg_bits / result.simulated_time;
+    total_segments += f.delivered;
+    result.flows.push_back(stats);
+  }
+  result.aggregate_goodput = total_segments * seg_bits / result.simulated_time;
+
+  // Ramp detection: first round at >= 90 % of the steady per-round rate
+  // (measured over the last half of the run).
+  const std::size_t half = per_round.size() / 2;
+  double steady = 0.0;
+  if (half > 0) {
+    steady = std::accumulate(per_round.begin() + static_cast<std::ptrdiff_t>(half),
+                             per_round.end(), 0.0) /
+             static_cast<double>(per_round.size() - half);
+  }
+  result.ramp_rounds = rounds;
+  for (std::size_t r = 0; r < per_round.size(); ++r) {
+    if (steady > 0.0 && per_round[r] >= 0.9 * steady) {
+      result.ramp_rounds = static_cast<int>(r);
+      break;
+    }
+  }
+  return result;
+}
+
+BitsPerSecond packet_sim_steady_goodput(const PathSpec& path, int flows) {
+  PacketSimConfig config;
+  config.path = path;
+  config.flows = flows;
+  const int warmup = 200;
+  const int measured = 400;
+  const auto full = simulate_tcp_rounds(config, warmup + measured);
+  const auto head = simulate_tcp_rounds(config, warmup);
+  if (full.simulated_time <= head.simulated_time) return 0.0;
+  double full_segments = 0.0, head_segments = 0.0;
+  for (const auto& f : full.flows) full_segments += f.segments_delivered;
+  for (const auto& f : head.flows) head_segments += f.segments_delivered;
+  const double bits = (full_segments - head_segments) * to_bits(config.mss);
+  return bits / (full.simulated_time - head.simulated_time);
+}
+
+}  // namespace eadt::net

@@ -1,0 +1,70 @@
+// Round-based packet-level TCP simulator — the validation substrate for the
+// fluid-flow model.
+//
+// The transfer engine (src/proto) treats a TCP stream as a fluid capped at
+// buffer/RTT with a logarithmic slow-start penalty. Those are *assumptions*;
+// this module checks them against a finer-grained model: NewReno-style flows
+// (slow start, congestion avoidance, multiplicative decrease) sharing a
+// drop-tail bottleneck queue, advanced in RTT rounds — the standard
+// "round model" of TCP analysis.
+//
+// Within each round every flow sends its congestion window; if the aggregate
+// exceeds the pipe (BDP + queue), the overflow is dropped across flows in
+// proportion to their windows and affected flows halve. Otherwise windows
+// grow: exponentially below ssthresh, by one segment per RTT above it.
+//
+// Caveats (documented, inherent to round models): losses are synchronised
+// within a round, timeouts and SACK dynamics are not modelled, and RTT is
+// constant. That is exactly the fidelity needed to validate steady-state
+// throughput and ramp duration — not burst microdynamics.
+//
+// bench/validation_tcp_model compares this against net::stream_window_cap()
+// and net::slow_start_penalty(); tests pin the agreement.
+#pragma once
+
+#include <vector>
+
+#include "net/tcp_model.hpp"
+#include "util/units.hpp"
+
+namespace eadt::net {
+
+struct PacketSimConfig {
+  PathSpec path;                 ///< capacity, RTT, per-stream window cap
+  Bytes mss = 1460;              ///< segment payload size
+  double queue_bdp_fraction = 1.0;  ///< drop-tail queue size as a fraction of BDP
+  int flows = 1;
+  /// Initial congestion window in segments (RFC 6928-ish default).
+  int initial_window = 10;
+};
+
+struct FlowStats {
+  double segments_delivered = 0.0;
+  double losses = 0.0;
+  double final_cwnd = 0.0;      ///< segments
+  BitsPerSecond goodput = 0.0;  ///< delivered payload over the simulated time
+};
+
+struct PacketSimResult {
+  Seconds simulated_time = 0.0;
+  int rounds = 0;
+  std::vector<FlowStats> flows;
+  BitsPerSecond aggregate_goodput = 0.0;
+  /// Rounds until the aggregate first reached 90 % of its steady rate.
+  int ramp_rounds = 0;
+
+  [[nodiscard]] Seconds ramp_time(const PathSpec& path) const {
+    return static_cast<double>(ramp_rounds) * path.rtt;
+  }
+};
+
+/// Run `rounds` RTT rounds of the round model.
+[[nodiscard]] PacketSimResult simulate_tcp_rounds(const PacketSimConfig& config,
+                                                  int rounds);
+
+/// Convenience: steady-state goodput of one flow on `path` (long run,
+/// ramp excluded) — the quantity stream_window_cap() approximates.
+[[nodiscard]] BitsPerSecond packet_sim_steady_goodput(const PathSpec& path,
+                                                      int flows = 1);
+
+}  // namespace eadt::net

@@ -1,0 +1,50 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+
+namespace eadt::net {
+
+const char* to_string(DeviceKind kind) noexcept {
+  switch (kind) {
+    case DeviceKind::kEnterpriseSwitch: return "enterprise-switch";
+    case DeviceKind::kEdgeSwitch: return "edge-switch";
+    case DeviceKind::kMetroRouter: return "metro-router";
+    case DeviceKind::kEdgeRouter: return "edge-router";
+  }
+  return "unknown";
+}
+
+std::size_t Route::count(DeviceKind kind) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(devices_.begin(), devices_.end(),
+                    [kind](const NetworkDevice& d) { return d.kind == kind; }));
+}
+
+Route xsede_route() {
+  return Route({
+      {DeviceKind::kEdgeSwitch, "stampede-edge"},
+      {DeviceKind::kEnterpriseSwitch, "tacc-enterprise"},
+      {DeviceKind::kEdgeRouter, "tacc-edge-router"},
+      {DeviceKind::kEdgeRouter, "sdsc-edge-router"},
+      {DeviceKind::kEnterpriseSwitch, "sdsc-enterprise"},
+      {DeviceKind::kEdgeSwitch, "gordon-edge"},
+  });
+}
+
+Route futuregrid_route() {
+  return Route({
+      {DeviceKind::kEdgeSwitch, "hotel-edge"},
+      {DeviceKind::kMetroRouter, "internet2-chicago"},
+      {DeviceKind::kMetroRouter, "internet2-kansas"},
+      {DeviceKind::kMetroRouter, "internet2-houston"},
+      {DeviceKind::kEdgeSwitch, "alamo-edge"},
+  });
+}
+
+Route didclab_route() {
+  return Route({
+      {DeviceKind::kEdgeSwitch, "didclab-lan"},
+  });
+}
+
+}  // namespace eadt::net

@@ -1,0 +1,53 @@
+// Network topology: the chain of devices a transfer crosses (paper Fig. 9).
+//
+// Only the device *kinds* matter for the Section 4 analysis: each kind has
+// per-packet processing / store-and-forward energy coefficients (Table 1),
+// and the route determines how much network energy a transfer induces.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace eadt::net {
+
+enum class DeviceKind {
+  kEnterpriseSwitch,
+  kEdgeSwitch,
+  kMetroRouter,
+  kEdgeRouter,
+};
+
+[[nodiscard]] const char* to_string(DeviceKind kind) noexcept;
+
+struct NetworkDevice {
+  DeviceKind kind;
+  std::string name;
+};
+
+/// An ordered device chain between two end systems.
+class Route {
+ public:
+  Route() = default;
+  explicit Route(std::vector<NetworkDevice> devices) : devices_(std::move(devices)) {}
+
+  [[nodiscard]] std::span<const NetworkDevice> devices() const noexcept { return devices_; }
+  [[nodiscard]] std::size_t size() const noexcept { return devices_.size(); }
+  [[nodiscard]] std::size_t count(DeviceKind kind) const noexcept;
+
+ private:
+  std::vector<NetworkDevice> devices_;
+};
+
+/// The three testbed routes of Figure 9.
+/// XSEDE: edge switch - enterprise switch - edge router - Internet2 -
+///        edge router - enterprise switch - edge switch.
+[[nodiscard]] Route xsede_route();
+/// FutureGrid: edge switch - metro router x3 (Internet2 core) - edge switch.
+[[nodiscard]] Route futuregrid_route();
+/// DIDCLAB LAN: a single edge switch.
+[[nodiscard]] Route didclab_route();
+
+}  // namespace eadt::net

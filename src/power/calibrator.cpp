@@ -1,0 +1,167 @@
+#include "power/calibrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eadt::power {
+namespace {
+
+host::Utilization wobble(const ToolProfile& t, Rng& rng) {
+  // During a transfer the components co-move — the pipeline either flows or
+  // stalls as a whole. A shared load factor plus small per-component jitter
+  // is what gives CPU utilization its ~90 % correlation with total power.
+  const double shared = 1.0 + t.burstiness * rng.normal();
+  auto jitter = [&](double level) {
+    const double v = level * shared * (1.0 + 0.2 * t.burstiness * rng.normal());
+    return std::clamp(v, 0.02, 1.0);
+  };
+  host::Utilization u;
+  u.cpu = jitter(t.cpu_level);
+  u.mem = jitter(t.mem_level);
+  u.disk = jitter(t.disk_level);
+  u.nic = jitter(t.nic_level);
+  return u;
+}
+
+}  // namespace
+
+GroundTruthServer::GroundTruthServer(PowerCoefficients true_coeffs, int cores, Watts tdp,
+                                     double cpu_quadratic, double noise_sd, Rng noise_rng)
+    : true_(true_coeffs),
+      cores_(cores),
+      tdp_(tdp),
+      cpu_quadratic_(cpu_quadratic),
+      noise_sd_(noise_sd),
+      rng_(noise_rng) {}
+
+Watts GroundTruthServer::truth(int active_cores, const host::Utilization& u) const {
+  const Watts linear = fine_grained_power(true_, active_cores, u);
+  // Mild convexity in the CPU response: real packages draw superlinearly as
+  // utilization (and with it frequency/voltage residency) climbs.
+  const Watts curve = cpu_quadratic_ * true_.cpu_scale * u.cpu * u.cpu;
+  return linear + curve;
+}
+
+Watts GroundTruthServer::measure(int active_cores, const host::Utilization& u) {
+  return std::max(0.0, truth(active_cores, u) * (1.0 + noise_sd_ * rng_.normal()));
+}
+
+CalibrationResult calibrate(GroundTruthServer& server, Rng rng,
+                            int samples_per_component) {
+  // Component sweeps: hold others at a low floor, ramp one component through
+  // its range, at a fixed "all cores active" point (how the authors ran the
+  // stressor benchmarks).
+  std::vector<std::vector<double>> rows;
+  std::vector<double> powers;
+  const int n = server.cores();
+  auto push = [&](const host::Utilization& u) {
+    // Feature vector matches Eq. 1: [C_cpu,n-weighted u_cpu, u_mem, u_disk,
+    // u_nic, 1] — the constant column absorbs the activation base.
+    rows.push_back({cpu_coefficient(n) * u.cpu, u.mem, u.disk, u.nic, 1.0});
+    powers.push_back(server.measure(n, u));
+  };
+
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < samples_per_component; ++i) {
+      const double level = 0.05 + 0.95 * (static_cast<double>(i) + rng.uniform01()) /
+                                      static_cast<double>(samples_per_component);
+      host::Utilization u{0.08, 0.08, 0.08, 0.08};
+      (c == 0 ? u.cpu : c == 1 ? u.mem : c == 2 ? u.disk : u.nic) = level;
+      push(u);
+    }
+  }
+  // Mixed points so cross terms do not alias into single coefficients.
+  for (int i = 0; i < samples_per_component; ++i) {
+    host::Utilization u{rng.uniform(0.05, 1.0), rng.uniform(0.05, 0.6),
+                        rng.uniform(0.05, 0.9), rng.uniform(0.05, 0.9)};
+    push(u);
+  }
+
+  CalibrationResult out;
+  const auto fit = fit_linear(rows, powers);
+  if (fit) {
+    out.fitted.cpu_scale = fit->coefficients[0];
+    out.fitted.mem = fit->coefficients[1];
+    out.fitted.disk = fit->coefficients[2];
+    out.fitted.nic = fit->coefficients[3];
+    out.fitted.active_base = fit->coefficients[4];
+    out.fine_grained_r2 = fit->r_squared;
+  }
+
+  // CPU-only stretch factor: the paper fits this against *transfer* load,
+  // where the components co-move, so the CPU term can stand in for the rest.
+  // Replay a generic transfer-shaped load and regress power on CPU alone.
+  const ToolProfile generic{"generic-transfer", 0.60, 0.22, 0.44, 0.42, 0.15};
+  std::vector<std::vector<double>> cpu_rows;
+  std::vector<double> cpu_series, cpu_powers;
+  Rng transfer_rng = rng.fork("cpu-only");
+  for (int i = 0; i < 4 * samples_per_component; ++i) {
+    host::Utilization u = wobble(generic, transfer_rng);
+    const double feature = cpu_coefficient(n) * u.cpu;
+    cpu_rows.push_back({feature, 1.0});
+    cpu_series.push_back(feature);
+    cpu_powers.push_back(server.measure(n, u));
+  }
+  if (const auto cpu_fit = fit_linear(cpu_rows, cpu_powers); cpu_fit) {
+    if (out.fitted.cpu_scale > 1e-9) {
+      out.cpu_only_factor = cpu_fit->coefficients[0] / out.fitted.cpu_scale;
+      out.cpu_only_base = cpu_fit->coefficients[1];
+    }
+  }
+  if (const auto corr = pearson_correlation(cpu_series, cpu_powers); corr) {
+    out.cpu_power_correlation = *corr;
+  }
+  return out;
+}
+
+std::vector<ToolProfile> standard_tool_profiles() {
+  // All five are data movers, so the component mix is similar (disk and NIC
+  // track the data rate, memory tracks buffering); what differs is overall
+  // intensity — scp/rsync drive the CPU hardest (crypto/delta), ftp is the
+  // lightest. Shared shape + different intensity is what gives the CPU-only
+  // model its usable accuracy in the paper.
+  return {
+      {"scp", 0.85, 0.31, 0.62, 0.57, 0.16},
+      {"rsync", 0.75, 0.28, 0.56, 0.51, 0.18},
+      {"ftp", 0.40, 0.14, 0.29, 0.27, 0.10},
+      {"bbcp", 0.60, 0.22, 0.44, 0.41, 0.10},
+      {"gridftp", 0.65, 0.24, 0.48, 0.45, 0.10},
+  };
+}
+
+std::vector<ModelAccuracy> evaluate_models(const CalibrationResult& cal,
+                                           GroundTruthServer& local,
+                                           GroundTruthServer& remote, Rng rng,
+                                           int n_samples) {
+  std::vector<ModelAccuracy> table;
+  // A transfer tool drives a handful of worker threads, so the number of
+  // *active* cores during the replay is the same on both machines (bounded
+  // by the smaller core count) — Eq. 3 moves the model across machines via
+  // the TDP ratio alone, not via the Eq. 2 core polynomial.
+  const int active = std::min({4, local.cores(), remote.cores()});
+  for (const auto& tool : standard_tool_profiles()) {
+    std::vector<double> meter_local, fg, cpu_only;
+    std::vector<double> meter_remote, tdp_ext;
+    Rng tool_rng = rng.fork(tool.name);
+    for (int i = 0; i < n_samples; ++i) {
+      const host::Utilization u = wobble(tool, tool_rng);
+      meter_local.push_back(local.measure(active, u));
+      fg.push_back(fine_grained_power(cal.fitted, active, u));
+      cpu_only.push_back(cal.cpu_only_predict(active, u.cpu));
+
+      const host::Utilization ur = wobble(tool, tool_rng);
+      meter_remote.push_back(remote.measure(active, ur));
+      tdp_ext.push_back(
+          cal.tdp_extended_predict(local.tdp(), remote.tdp(), active, ur.cpu));
+    }
+    ModelAccuracy row;
+    row.tool = tool.name;
+    row.fine_grained_mape = mape_percent(fg, meter_local).value_or(0.0);
+    row.cpu_only_mape = mape_percent(cpu_only, meter_local).value_or(0.0);
+    row.tdp_extended_mape = mape_percent(tdp_ext, meter_remote).value_or(0.0);
+    table.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace eadt::power

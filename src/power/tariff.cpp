@@ -1,0 +1,91 @@
+#include "power/tariff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eadt::power {
+
+Tariff Tariff::flat(double usd_per_kwh) {
+  Tariff t;
+  t.base_ = usd_per_kwh;
+  return t;
+}
+
+Tariff Tariff::time_of_use(double base_usd_per_kwh, std::vector<TariffBand> bands) {
+  Tariff t;
+  t.base_ = base_usd_per_kwh;
+  for (auto band : bands) {
+    band.start_hour = std::clamp(band.start_hour, 0.0, 24.0);
+    band.end_hour = std::clamp(band.end_hour, 0.0, 24.0);
+    if (band.start_hour == band.end_hour) continue;  // empty
+    if (band.start_hour < band.end_hour) {
+      t.bands_.push_back(band);
+    } else {
+      // Wraps midnight: split into [start, 24) and [0, end).
+      t.bands_.push_back({band.start_hour, 24.0, band.usd_per_kwh});
+      t.bands_.push_back({0.0, band.end_hour, band.usd_per_kwh});
+    }
+  }
+  return t;
+}
+
+double Tariff::price_at(Seconds time) const {
+  double hour = std::fmod(time / 3600.0, 24.0);
+  if (hour < 0.0) hour += 24.0;
+  // Later bands override earlier ones.
+  double price = base_;
+  for (const auto& band : bands_) {
+    if (hour >= band.start_hour && hour < band.end_hour) price = band.usd_per_kwh;
+  }
+  return price;
+}
+
+double Tariff::cost(Joules energy, Seconds start, Seconds duration) const {
+  if (energy <= 0.0) return 0.0;
+  if (duration <= 0.0) return energy * usd_per_joule(price_at(start));
+  const Watts power = energy / duration;
+
+  // Walk the interval, stopping at band edges (all edges live on the hour
+  // grid of the configured bands plus midnight).
+  std::vector<double> edges{0.0, 24.0};
+  for (const auto& band : bands_) {
+    edges.push_back(band.start_hour);
+    edges.push_back(band.end_hour);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  double usd = 0.0;
+  Seconds t = start;
+  const Seconds end = start + duration;
+  while (t < end - 1e-9) {
+    double hour = std::fmod(t / 3600.0, 24.0);
+    if (hour < 0.0) hour += 24.0;
+    // Next edge strictly after `hour`.
+    double next_hour = 24.0;
+    for (const double e : edges) {
+      if (e > hour + 1e-12) {
+        next_hour = e;
+        break;
+      }
+    }
+    const Seconds span = std::min(end - t, (next_hour - hour) * 3600.0);
+    usd += power * span * usd_per_joule(price_at(t));
+    t += span;
+  }
+  return usd;
+}
+
+double Tariff::cheapest_hour() const {
+  double best_hour = 0.0;
+  double best_price = price_at(0.0);
+  for (const auto& band : bands_) {
+    if (band.usd_per_kwh < best_price) {
+      best_price = band.usd_per_kwh;
+      best_hour = band.start_hour;
+    }
+  }
+  return best_hour;
+}
+
+}  // namespace eadt::power

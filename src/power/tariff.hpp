@@ -1,0 +1,60 @@
+// Electricity tariffs: turning Joules into money.
+//
+// The paper motivates energy-aware transfers with the worldwide power bill of
+// data movement; a provider reasons in $ (or CO2), not Joules. A Tariff maps
+// an energy draw over a wall-clock interval to cost, supporting flat rates
+// and time-of-use schedules (24-hour cycle of price bands — the off-peak
+// window a green queue wants to land in).
+#pragma once
+
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace eadt::power {
+
+inline constexpr Seconds kSecondsPerDay = 24.0 * 3600.0;
+
+/// One price band of a 24-hour cycle: [start_hour, end_hour) at `usd_per_kwh`.
+/// Bands may wrap midnight by having start_hour > end_hour.
+struct TariffBand {
+  double start_hour = 0.0;
+  double end_hour = 24.0;
+  double usd_per_kwh = 0.10;
+};
+
+class Tariff {
+ public:
+  /// Flat price at all hours.
+  [[nodiscard]] static Tariff flat(double usd_per_kwh);
+
+  /// Time-of-use: later bands override earlier ones where they overlap;
+  /// hours not covered by any band fall back to `base_usd_per_kwh`.
+  [[nodiscard]] static Tariff time_of_use(double base_usd_per_kwh,
+                                          std::vector<TariffBand> bands);
+
+  /// Price in effect at `time` (seconds since an arbitrary midnight; the
+  /// schedule repeats every 24 h).
+  [[nodiscard]] double price_at(Seconds time) const;
+
+  /// Cost in USD of drawing `energy` at constant power over
+  /// [start, start + duration) — integrates across band boundaries and
+  /// midnight wraps exactly.
+  [[nodiscard]] double cost(Joules energy, Seconds start, Seconds duration) const;
+
+  /// Cheapest hour of the day (band start with the lowest price) — a
+  /// scheduling hint for deferrable jobs.
+  [[nodiscard]] double cheapest_hour() const;
+
+ private:
+  Tariff() = default;
+  double base_ = 0.10;
+  std::vector<TariffBand> bands_;  // normalised: non-wrapping, in order
+};
+
+/// USD per kWh -> USD per Joule.
+[[nodiscard]] constexpr double usd_per_joule(double usd_per_kwh) {
+  return usd_per_kwh / 3.6e6;
+}
+
+}  // namespace eadt::power

@@ -1,0 +1,125 @@
+#include "proto/dataset.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <numeric>
+
+#include "util/config.hpp"
+
+namespace eadt::proto {
+
+Bytes Dataset::total_bytes() const {
+  return std::accumulate(files.begin(), files.end(), Bytes{0},
+                         [](Bytes acc, const FileInfo& f) { return acc + f.size; });
+}
+
+Dataset generate_dataset(const DatasetRecipe& recipe, Rng rng) {
+  Dataset ds;
+  for (const auto& band : recipe.bands) {
+    const double target =
+        static_cast<double>(recipe.total_bytes) * band.byte_share;
+    double produced = 0.0;
+    Rng band_rng = rng.fork(std::to_string(band.min_size));
+    while (produced < target) {
+      const double sz = band_rng.log_uniform(static_cast<double>(band.min_size),
+                                             static_cast<double>(band.max_size));
+      Bytes b = static_cast<Bytes>(sz);
+      b = std::clamp(b, band.min_size, band.max_size);
+      // Trim the final file so byte shares land on target (keeps recipes exact
+      // and reproducible without rejection loops).
+      if (produced + static_cast<double>(b) > target) {
+        const double rest = target - produced;
+        if (rest < static_cast<double>(band.min_size) / 2.0 && !ds.files.empty()) break;
+        b = std::max<Bytes>(static_cast<Bytes>(rest), 1);
+      }
+      ds.files.push_back({b});
+      produced += static_cast<double>(b);
+    }
+  }
+  return ds;
+}
+
+std::optional<Dataset> dataset_from_listing(std::istream& in, std::string* error) {
+  Dataset ds;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view v = trim(line);
+    if (v.empty() || v.front() == '#') continue;
+    // Size is the first whitespace-delimited token; the rest is the name
+    // (ignored — the engine only needs sizes).
+    const std::size_t ws = v.find_first_of(" \t");
+    const std::string_view size_text = ws == std::string_view::npos ? v : v.substr(0, ws);
+    const auto size = parse_size(size_text);
+    if (!size || *size == 0) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_no) + ": bad size '" +
+                 std::string(size_text) + "'";
+      }
+      return std::nullopt;
+    }
+    ds.files.push_back({*size});
+  }
+  return ds;
+}
+
+const char* to_string(SizeClass c) noexcept {
+  switch (c) {
+    case SizeClass::kSmall: return "Small";
+    case SizeClass::kMedium: return "Medium";
+    case SizeClass::kLarge: return "Large";
+  }
+  return "?";
+}
+
+std::vector<Chunk> partition_files(const Dataset& dataset, Bytes bdp,
+                                   const PartitionThresholds& thresholds) {
+  Chunk small{SizeClass::kSmall, {}, 0};
+  Chunk medium{SizeClass::kMedium, {}, 0};
+  Chunk large{SizeClass::kLarge, {}, 0};
+  const double bdp_d = static_cast<double>(std::max<Bytes>(bdp, 1));
+  for (std::uint32_t i = 0; i < dataset.files.size(); ++i) {
+    const double rel = static_cast<double>(dataset.files[i].size) / bdp_d;
+    Chunk& target = rel < thresholds.small_max_bdp
+                        ? small
+                        : (rel < thresholds.medium_max_bdp ? medium : large);
+    target.file_ids.push_back(i);
+    target.total += dataset.files[i].size;
+  }
+  std::vector<Chunk> out;
+  for (auto* c : {&small, &medium, &large}) {
+    if (!c->file_ids.empty()) out.push_back(std::move(*c));
+  }
+  return out;
+}
+
+std::vector<Chunk> merge_chunks(std::vector<Chunk> chunks, std::size_t min_files,
+                                double min_byte_fraction) {
+  if (chunks.size() <= 1) return chunks;
+  Bytes total = 0;
+  for (const auto& c : chunks) total += c.total;
+  const double min_bytes = static_cast<double>(total) * min_byte_fraction;
+
+  bool merged = true;
+  while (merged && chunks.size() > 1) {
+    merged = false;
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      const bool too_small = chunks[i].file_count() < min_files ||
+                             static_cast<double>(chunks[i].total) < min_bytes;
+      if (!too_small) continue;
+      // Fold into the size-adjacent neighbour (prefer the previous chunk).
+      const std::size_t dst = i > 0 ? i - 1 : i + 1;
+      auto& target = chunks[dst];
+      target.file_ids.insert(target.file_ids.end(), chunks[i].file_ids.begin(),
+                             chunks[i].file_ids.end());
+      target.total += chunks[i].total;
+      chunks.erase(chunks.begin() + static_cast<std::ptrdiff_t>(i));
+      merged = true;
+      break;
+    }
+  }
+  return chunks;
+}
+
+}  // namespace eadt::proto

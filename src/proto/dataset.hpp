@@ -1,0 +1,90 @@
+// Datasets, size classes and chunks.
+//
+// All of the paper's algorithms start by partitioning a mixed-size dataset
+// into Small / Medium / Large chunks relative to the path's bandwidth-delay
+// product, then merging chunks too small to be worth separate treatment
+// (the mergeChunks subroutine of Algorithm 1).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace eadt::proto {
+
+struct FileInfo {
+  Bytes size = 0;
+};
+
+struct Dataset {
+  std::vector<FileInfo> files;
+
+  [[nodiscard]] Bytes total_bytes() const;
+  [[nodiscard]] std::size_t count() const noexcept { return files.size(); }
+};
+
+/// One size band of a synthetic dataset recipe.
+struct SizeBand {
+  Bytes min_size = 0;
+  Bytes max_size = 0;
+  double byte_share = 0.0;  ///< fraction of the dataset's bytes in this band
+};
+
+/// Recipe for the engineered experiment datasets ("160 GB, 3 MB - 20 GB").
+struct DatasetRecipe {
+  std::string name;
+  Bytes total_bytes = 0;
+  std::vector<SizeBand> bands;  ///< byte_shares should sum to ~1
+};
+
+/// Draw file sizes log-uniformly inside each band until its byte share is
+/// met. Deterministic for a given (recipe, rng).
+[[nodiscard]] Dataset generate_dataset(const DatasetRecipe& recipe, Rng rng);
+
+/// Load a dataset from a directory-listing-style text stream: one file per
+/// line, `<size> [name...]`, where size accepts B/KB/MB/GB suffixes (see
+/// parse_size). '#' comments and blank lines are skipped. Returns nullopt on
+/// the first malformed line (reported via *error as "line N: ...").
+[[nodiscard]] std::optional<Dataset> dataset_from_listing(std::istream& in,
+                                                          std::string* error = nullptr);
+
+enum class SizeClass { kSmall = 0, kMedium = 1, kLarge = 2 };
+[[nodiscard]] const char* to_string(SizeClass c) noexcept;
+
+/// BDP-relative class boundaries. Files under one BDP gain from pipelining;
+/// files that dwarf it gain from parallel streams instead.
+struct PartitionThresholds {
+  double small_max_bdp = 1.0;   ///< size < small_max_bdp * BDP  -> Small
+  double medium_max_bdp = 20.0; ///< size < medium_max_bdp * BDP -> Medium, else Large
+};
+
+struct Chunk {
+  SizeClass cls = SizeClass::kSmall;
+  std::vector<std::uint32_t> file_ids;  ///< indices into the Dataset
+  Bytes total = 0;
+
+  [[nodiscard]] Bytes avg_file_size() const {
+    return file_ids.empty() ? 0 : total / file_ids.size();
+  }
+  [[nodiscard]] std::size_t file_count() const noexcept { return file_ids.size(); }
+};
+
+/// partitionFiles(files, BDP): classify every file; empty chunks are dropped.
+/// Chunks come back ordered Small, Medium, Large (present ones only).
+[[nodiscard]] std::vector<Chunk> partition_files(const Dataset& dataset, Bytes bdp,
+                                                 const PartitionThresholds& thresholds = {});
+
+/// mergeChunks: fold a chunk into its nearest surviving neighbour when it has
+/// fewer than `min_files` files or under `min_byte_fraction` of total bytes.
+/// The merged chunk keeps the neighbour's class. Never returns empty if the
+/// input had any files.
+[[nodiscard]] std::vector<Chunk> merge_chunks(std::vector<Chunk> chunks,
+                                              std::size_t min_files = 2,
+                                              double min_byte_fraction = 0.02);
+
+}  // namespace eadt::proto

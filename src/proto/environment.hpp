@@ -1,0 +1,50 @@
+// A transfer environment: two endpoints (each a pool of data-transfer-node
+// servers), the WAN/LAN path between them, and the device route the bytes
+// cross. This is the simulator's stand-in for Figure 1's testbeds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "host/server.hpp"
+#include "net/tcp_model.hpp"
+#include "net/topology.hpp"
+#include "power/end_system.hpp"
+#include "util/units.hpp"
+
+namespace eadt::proto {
+
+/// One side of the transfer: a site with one or more DTN servers.
+struct Endpoint {
+  std::string site;
+  std::vector<host::ServerSpec> servers;
+  power::PowerCoefficients power;
+};
+
+struct Environment {
+  std::string name;
+  Endpoint source;
+  Endpoint destination;
+  net::PathSpec path;
+  net::CongestionSpec congestion;
+  net::Route route;
+  /// Fraction of the congestion window an *unpipelined* channel retains
+  /// across the RTT-long idle gap between files (pipelined channels never go
+  /// idle and retain all of it); see net::slow_start_penalty.
+  double warm_fraction = 0.7;
+  /// Fixed server-side cost per file (metadata, open/close, checksum setup).
+  /// Pipelining hides the *network* round trip but not this: it is why a
+  /// dedicated small-file phase (SC, GO) drags while ProMC hides small files
+  /// behind its bulk streams.
+  Seconds per_file_cost = 0.025;
+  /// Multiplicative per-tick rate noise (relative standard deviation) —
+  /// cross-traffic burstiness, storage hiccups. 0 keeps the engine exactly
+  /// deterministic; > 0 is still reproducible for a fixed `jitter_seed`
+  /// (Monte-Carlo robustness studies vary the seed).
+  double rate_jitter_sd = 0.0;
+  std::uint64_t jitter_seed = 1;
+
+  [[nodiscard]] Bytes bdp() const { return path.bdp(); }
+};
+
+}  // namespace eadt::proto

@@ -1,0 +1,95 @@
+// Transfer plans: what an algorithm decides before (and while) data moves.
+//
+// A plan fixes, per chunk, the three application-layer parameters the paper
+// tunes — pipelining, parallelism, channel count (concurrency) — plus
+// session-wide behaviour: whether chunks run sequentially (SC, GO) or
+// simultaneously (ProMC, MinE, HTEE), how freed channels are re-used, and how
+// channels are placed across a site's DTN servers.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "proto/dataset.hpp"
+
+namespace eadt::proto {
+
+struct ChunkParams {
+  int pipelining = 1;
+  int parallelism = 1;
+  int channels = 0;  ///< concurrent data channels assigned to this chunk
+};
+
+/// How channels map to a site's DTN servers.
+enum class Placement {
+  kPacked,      ///< all channels on one server (the paper's custom client)
+  kRoundRobin,  ///< spread across servers (Globus Online / globus-url-copy)
+};
+
+/// What an idle channel does when its own chunk runs dry.
+enum class StealPolicy {
+  kNone,          ///< close immediately
+  kNonLargeOnly,  ///< help Small/Medium chunks, never grow the Large chunk's
+                  ///< channel count (MinE's energy-saving rule)
+  kAll,           ///< help whichever chunk has the most bytes left (ProMC)
+};
+
+struct TransferPlan {
+  std::vector<Chunk> chunks;
+  std::vector<ChunkParams> params;  ///< parallel to `chunks`
+  Placement placement = Placement::kPacked;
+  StealPolicy steal = StealPolicy::kAll;
+  /// SC and GO transfer one chunk at a time; multi-chunk algorithms overlap.
+  bool sequential_chunks = false;
+  /// Extra per-file latency imposed by the transfer *service* itself, on top
+  /// of the environment's server-side cost. Globus Online's cloud-hosted
+  /// fire-and-forget pipeline books, audits and acknowledges every file
+  /// through the hosted service; direct GridFTP clients pay nothing here.
+  Seconds service_overhead_per_file = 0.0;
+  /// End-to-end integrity verification: each file is re-read and hashed at
+  /// this rate after landing (the feature the paper disabled in GO "to do
+  /// fair comparison" because it "causes significant slowdowns"). 0 = off.
+  BitsPerSecond checksum_rate = 0.0;
+
+  [[nodiscard]] int total_channels() const {
+    int n = 0;
+    for (const auto& p : params) n += p.channels;
+    return n;
+  }
+};
+
+/// Live statistics handed to adaptive controllers every sampling window
+/// (the paper's algorithms sample every five seconds).
+struct SampleStats {
+  Seconds window_start = 0.0;
+  Seconds window_end = 0.0;
+  Bytes bytes = 0;
+  Joules end_system_energy = 0.0;
+  int active_channels = 0;
+
+  [[nodiscard]] Seconds duration() const { return window_end - window_start; }
+  [[nodiscard]] BitsPerSecond throughput() const {
+    const Seconds d = duration();
+    return d > 0.0 ? to_bits(bytes) / d : 0.0;
+  }
+  /// The paper's energy-efficiency metric: throughput per unit energy.
+  [[nodiscard]] double throughput_per_joule() const {
+    return end_system_energy > 0.0 ? throughput() / end_system_energy : 0.0;
+  }
+};
+
+class TransferSession;  // forward
+
+/// Runtime hook for HTEE's search phase and SLAEE's SLA tracking.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+  /// Override the plan's initial total concurrency (HTEE starts at 1).
+  virtual std::optional<int> initial_concurrency() { return std::nullopt; }
+  /// Called once before the first tick (e.g. to pin the Large chunk's cap).
+  virtual void on_start(TransferSession& /*session*/) {}
+  /// Called at the end of every sampling window.
+  virtual void on_sample(TransferSession& session, const SampleStats& stats) = 0;
+};
+
+}  // namespace eadt::proto

@@ -1,0 +1,608 @@
+#include "proto/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/fair_share.hpp"
+#include "power/device.hpp"
+#include "util/rng.hpp"
+
+namespace eadt::proto {
+namespace {
+
+bool size_desc(const std::pair<Bytes, std::uint32_t>& a,
+               const std::pair<Bytes, std::uint32_t>& b) {
+  return a.first != b.first ? a.first > b.first : a.second < b.second;
+}
+
+}  // namespace
+
+TransferSession::TransferSession(const Environment& env, const Dataset& dataset,
+                                 TransferPlan plan, SessionConfig config)
+    : env_(env), plan_(std::move(plan)), config_(config),
+      jitter_rng_(env.jitter_seed) {
+  queues_.resize(plan_.chunks.size());
+  chunk_remaining_.assign(plan_.chunks.size(), 0);
+  for (std::size_t c = 0; c < plan_.chunks.size(); ++c) {
+    std::vector<std::pair<Bytes, std::uint32_t>> order;
+    order.reserve(plan_.chunks[c].file_ids.size());
+    for (std::uint32_t id : plan_.chunks[c].file_ids) {
+      order.emplace_back(dataset.files[id].size, id);
+    }
+    if (plan_.chunks[c].cls == SizeClass::kLarge) {
+      // Largest-first: the bulk files that bound the makespan start first,
+      // so no straggler begins near the end of the transfer.
+      std::sort(order.begin(), order.end(), size_desc);
+    } else {
+      // Listing order is size-uncorrelated in practice; a deterministic
+      // shuffle keeps per-window throughput homogeneous instead of
+      // clustering all the tiniest files at the chunk's tail.
+      Rng shuffle_rng(0xC0FFEEULL ^ static_cast<std::uint64_t>(c));
+      for (std::size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[shuffle_rng.uniform_int(0, i - 1)]);
+      }
+    }
+    for (const auto& [size, id] : order) {
+      queues_[c].push_back({id, size});
+      chunk_remaining_[c] += size;
+      total_bytes_ += size;
+    }
+  }
+  if (plan_.sequential_chunks) {
+    // One chunk at a time: the concurrency in flight is the largest per-chunk
+    // allocation, not the sum.
+    int widest = 1;
+    for (const auto& p : plan_.params) widest = std::max(widest, p.channels);
+    target_concurrency_ = widest;
+  } else {
+    target_concurrency_ = std::max(1, plan_.total_channels());
+  }
+  for (const auto& s : env_.source.servers) src_energy_.push_back({s.name, 0.0, 0.0});
+  for (const auto& s : env_.destination.servers) dst_energy_.push_back({s.name, 0.0, 0.0});
+}
+
+Seconds TransferSession::now() const noexcept { return sim_.now(); }
+
+Bytes TransferSession::bytes_remaining() const noexcept {
+  return total_bytes_ - bytes_moved_;
+}
+
+void TransferSession::set_total_concurrency(int n) {
+  target_concurrency_ = std::max(1, n);
+}
+
+void TransferSession::set_large_chunk_cap(std::optional<int> cap) { large_cap_ = cap; }
+
+bool TransferSession::chunk_live(int chunk) const {
+  if (chunk < 0 || static_cast<std::size_t>(chunk) >= queues_.size()) return false;
+  if (!queues_[static_cast<std::size_t>(chunk)].empty()) return true;
+  return std::any_of(channels_.begin(), channels_.end(), [chunk](const Channel& ch) {
+    return ch.chunk == chunk && ch.busy;
+  });
+}
+
+std::vector<int> TransferSession::desired_allocation() const {
+  const std::size_t n_chunks = plan_.chunks.size();
+  std::vector<int> desired(n_chunks, 0);
+  const int total = std::max(1, target_concurrency_);
+
+  std::vector<int> busy_count(n_chunks, 0);
+  for (const auto& ch : channels_) {
+    if (ch.chunk >= 0 && ch.busy) ++busy_count[static_cast<std::size_t>(ch.chunk)];
+  }
+  // A chunk can never usefully hold more channels than work items.
+  std::vector<int> capacity(n_chunks, 0);
+  for (std::size_t i = 0; i < n_chunks; ++i) {
+    capacity[i] = static_cast<int>(queues_[i].size()) + busy_count[i];
+  }
+  auto chunk_cap = [&](std::size_t i) {
+    int cap = capacity[i];
+    if (plan_.chunks[i].cls == SizeClass::kLarge && large_cap_) {
+      cap = std::min(cap, std::max(0, *large_cap_));
+    }
+    return cap;
+  };
+
+  if (plan_.sequential_chunks) {
+    // Divide-and-transfer (SC, GO): only the first unfinished chunk runs,
+    // with *its own* planned channel count — per-chunk counts are not summed.
+    for (std::size_t i = 0; i < n_chunks; ++i) {
+      if (capacity[i] > 0) {
+        desired[i] = std::min({total, plan_.params[i].channels, chunk_cap(i)});
+        break;
+      }
+    }
+    return desired;
+  }
+
+  if (plan_.steal == StealPolicy::kNone) {
+    for (std::size_t i = 0; i < n_chunks; ++i) {
+      desired[i] = std::min(plan_.params[i].channels, chunk_cap(i));
+    }
+    return desired;
+  }
+
+  int budget = total;
+  std::vector<std::size_t> eligible;
+  if (plan_.steal == StealPolicy::kNonLargeOnly) {
+    // The Large chunk never grows past its planned channel count (MinE's
+    // energy rule); everyone else shares the rest. If the Large chunk is all
+    // that remains it still gets at least one channel — MinE "assigns a
+    // single channel to the large chunk regardless of the channel count".
+    bool any_nonlarge_live = false;
+    for (std::size_t i = 0; i < n_chunks; ++i) {
+      if (plan_.chunks[i].cls != SizeClass::kLarge && capacity[i] > 0) {
+        any_nonlarge_live = true;
+      }
+    }
+    for (std::size_t i = 0; i < n_chunks; ++i) {
+      if (plan_.chunks[i].cls == SizeClass::kLarge && capacity[i] > 0) {
+        int want = plan_.params[i].channels;
+        if (!any_nonlarge_live) want = std::max(want, 1);
+        desired[i] = std::min(want, chunk_cap(i));
+        budget -= desired[i];
+      }
+    }
+    for (std::size_t i = 0; i < n_chunks; ++i) {
+      if (plan_.chunks[i].cls != SizeClass::kLarge && capacity[i] > 0) {
+        eligible.push_back(i);
+      }
+    }
+  } else {  // kAll
+    for (std::size_t i = 0; i < n_chunks; ++i) {
+      if (capacity[i] > 0) eligible.push_back(i);
+    }
+  }
+
+  // D'Hondt divisor rounds: proportional to plan weights, capacity-capped,
+  // deterministic. Falls back to remaining-bytes weights when the plan gave
+  // every eligible chunk zero channels (can happen after floor() allocation).
+  auto weight = [&](std::size_t i) {
+    return static_cast<double>(plan_.params[i].channels);
+  };
+  auto bytes_weight = [&](std::size_t i) {
+    return static_cast<double>(chunk_remaining_[i]) + 1.0;
+  };
+  while (budget > 0) {
+    double best_q = -1.0;
+    std::size_t best_i = n_chunks;
+    bool use_bytes = true;
+    for (std::size_t i : eligible) {
+      if (desired[i] >= chunk_cap(i)) continue;
+      if (weight(i) > 0.0) use_bytes = false;
+    }
+    for (std::size_t i : eligible) {
+      if (desired[i] >= chunk_cap(i)) continue;
+      const double w = use_bytes ? bytes_weight(i) : weight(i);
+      const double q = w / static_cast<double>(desired[i] + 1);
+      if (q > best_q) {
+        best_q = q;
+        best_i = i;
+      }
+    }
+    if (best_i == n_chunks || best_q <= 0.0) break;
+    ++desired[best_i];
+    --budget;
+  }
+  return desired;
+}
+
+void TransferSession::assign_channel(Channel& ch, int chunk) {
+  ch.chunk = chunk;
+  ch.parallelism = std::max(1, plan_.params[static_cast<std::size_t>(chunk)].parallelism);
+  ch.pipelining = std::max(1, plan_.params[static_cast<std::size_t>(chunk)].pipelining);
+  ch.cold = true;  // a (re)assigned channel ramps its window from scratch
+}
+
+void TransferSession::open_channel(int chunk) {
+  Channel ch;
+  assign_channel(ch, chunk);
+  if (plan_.placement == Placement::kPacked) {
+    ch.src_server = 0;
+    ch.dst_server = 0;
+  } else {
+    ch.src_server = rr_src_++ % std::max<std::size_t>(1, env_.source.servers.size());
+    ch.dst_server = rr_dst_++ % std::max<std::size_t>(1, env_.destination.servers.size());
+  }
+  channels_.push_back(ch);
+}
+
+void TransferSession::close_channel(std::size_t idx) {
+  Channel& ch = channels_[idx];
+  if (ch.busy && ch.work.remaining > 0) {
+    // chunk_remaining_ still includes these bytes (it is decremented only as
+    // bytes move), so requeueing the remainder keeps accounting consistent.
+    queues_[static_cast<std::size_t>(ch.chunk)].push_front(ch.work);
+  }
+  channels_.erase(channels_.begin() + static_cast<std::ptrdiff_t>(idx));
+}
+
+void TransferSession::rebalance() {
+  const auto desired = desired_allocation();
+  const std::size_t n_chunks = plan_.chunks.size();
+
+  std::vector<int> have(n_chunks, 0);
+  for (const auto& ch : channels_) {
+    if (ch.chunk >= 0) ++have[static_cast<std::size_t>(ch.chunk)];
+  }
+
+  // Release surplus channels, idle ones first, then preempt busy ones
+  // (preempted remainders go back to the front of the queue).
+  std::vector<std::size_t> free_slots;
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    int surplus = have[c] - desired[c];
+    if (surplus <= 0) continue;
+    for (int pass = 0; pass < 2 && surplus > 0; ++pass) {
+      const bool want_busy = pass == 1;
+      for (std::size_t i = 0; i < channels_.size() && surplus > 0; ++i) {
+        auto& ch = channels_[i];
+        if (ch.chunk != static_cast<int>(c) || ch.busy != want_busy) continue;
+        if (std::find(free_slots.begin(), free_slots.end(), i) != free_slots.end()) continue;
+        free_slots.push_back(i);
+        --surplus;
+      }
+    }
+  }
+
+  // Reassign freed channels to deficits; close what is left over.
+  std::vector<std::size_t> to_close;
+  std::size_t cursor = 0;
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    int deficit = desired[c] - have[c];
+    while (deficit > 0 && cursor < free_slots.size()) {
+      auto& ch = channels_[free_slots[cursor++]];
+      if (ch.busy && ch.work.remaining > 0) {
+        queues_[static_cast<std::size_t>(ch.chunk)].push_front(ch.work);
+        ch.busy = false;
+        ch.work = {};
+        ch.overhead_left = 0.0;
+      }
+      assign_channel(ch, static_cast<int>(c));
+      --deficit;
+    }
+    while (deficit > 0) {
+      open_channel(static_cast<int>(c));
+      --deficit;
+    }
+  }
+  for (; cursor < free_slots.size(); ++cursor) to_close.push_back(free_slots[cursor]);
+  std::sort(to_close.rbegin(), to_close.rend());
+  for (std::size_t idx : to_close) close_channel(idx);
+}
+
+bool TransferSession::pop_next_file(Channel& ch) {
+  auto& q = queues_[static_cast<std::size_t>(ch.chunk)];
+  if (q.empty()) return false;
+  ch.work = q.front();
+  q.pop_front();
+  ch.busy = true;
+  ch.overhead_left = per_file_overhead(ch, ch.work.remaining, ch.cold);
+  ch.cold = false;
+  return true;
+}
+
+Seconds TransferSession::per_file_overhead(const Channel& ch, Bytes size,
+                                           bool cold) const {
+  // Server-side per-file cost plus the control-channel stall, amortised by
+  // pipelining. The congestion window ramps from scratch only on a cold
+  // (new/reassigned) channel — GridFTP reuses data connections across files.
+  // Between files of a warm channel: pipelined channels never go idle (no
+  // decay); unpipelined ones sit a full RTT waiting for the next command,
+  // losing part of the window.
+  const double warm = cold ? 0.0 : (ch.pipelining > 1 ? 1.0 : env_.warm_fraction);
+  Seconds overhead = env_.per_file_cost + plan_.service_overhead_per_file +
+                     net::control_gap_per_file(env_.path, ch.pipelining) +
+                     net::slow_start_penalty(env_.path, size, warm);
+  if (plan_.checksum_rate > 0.0) {
+    overhead += to_bits(size) / plan_.checksum_rate;  // post-landing verify pass
+  }
+  return overhead;
+}
+
+void TransferSession::allocate_rates() {
+  const auto& path = env_.path;
+  const BitsPerSecond window_cap = net::stream_window_cap(path);
+
+  // Per-server resident load (processes/threads), needed for CPU caps.
+  const std::size_t ns = env_.source.servers.size();
+  const std::size_t nd = env_.destination.servers.size();
+  std::vector<int> src_procs(ns, 0), src_threads(ns, 0);
+  std::vector<int> dst_procs(nd, 0), dst_threads(nd, 0);
+  for (const auto& ch : channels_) {
+    ++src_procs[ch.src_server];
+    src_threads[ch.src_server] += ch.parallelism;
+    ++dst_procs[ch.dst_server];
+    dst_threads[ch.dst_server] += ch.parallelism;
+  }
+
+  // Per-channel caps before disk: TCP windows and CPU shares on both ends.
+  std::vector<double> caps(channels_.size(), 0.0);
+  std::vector<double> duty(channels_.size(), 1.0);
+  int total_streams = 0;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    auto& ch = channels_[i];
+    ch.rate = 0.0;
+    ch.moved_this_tick = 0;
+    if (!ch.busy) continue;
+    const auto& src = env_.source.servers[ch.src_server];
+    const auto& dst = env_.destination.servers[ch.dst_server];
+    const BitsPerSecond cpu_src = host::channel_cpu_cap(
+        src, src_procs[ch.src_server], src_threads[ch.src_server], ch.parallelism);
+    const BitsPerSecond cpu_dst = host::channel_cpu_cap(
+        dst, dst_procs[ch.dst_server], dst_threads[ch.dst_server], ch.parallelism);
+    caps[i] = std::min({static_cast<double>(ch.parallelism) * window_cap, cpu_src,
+                        cpu_dst, host::channel_stream_cap(src, ch.parallelism),
+                        host::channel_stream_cap(dst, ch.parallelism)});
+    total_streams += ch.parallelism;
+
+    // Duty cycle: the fraction of time this channel actually streams, given
+    // its per-file overheads. A channel chewing through small files only
+    // *consumes* bandwidth while transferring, so its fair-share demand is
+    // duty-weighted; it bursts at rate/duty when it does send.
+    const Bytes fsize = std::max<Bytes>(ch.work.remaining, 1);
+    const Seconds overhead = per_file_overhead(ch, fsize, false);
+    const Seconds tx = caps[i] > 0.0 ? to_bits(fsize) / caps[i] : 0.0;
+    duty[i] = (overhead > 0.0 && tx > 0.0) ? tx / (tx + overhead) : 1.0;
+    duty[i] = std::max(duty[i], 0.05);
+    caps[i] *= duty[i];
+  }
+
+  // Disk pools are work-conserving: each server's aggregate disk bandwidth is
+  // shared max-min across its channels, so a channel stalling on per-file
+  // overheads donates its slack to streaming channels (this is what lets a
+  // multi-chunk schedule beat sequential phases).
+  auto apply_disk_pool = [&](const std::vector<host::ServerSpec>& servers,
+                             bool source_side, const std::vector<int>& procs) {
+    for (std::size_t s = 0; s < servers.size(); ++s) {
+      if (procs[s] <= 0) continue;
+      const BitsPerSecond pool = host::disk_aggregate_bandwidth(servers[s].disk, procs[s]);
+      std::vector<net::Demand> d;
+      std::vector<std::size_t> idx;
+      for (std::size_t i = 0; i < channels_.size(); ++i) {
+        const std::size_t at = source_side ? channels_[i].src_server
+                                           : channels_[i].dst_server;
+        if (at != s || !channels_[i].busy) continue;
+        d.push_back({caps[i], 1.0});
+        idx.push_back(i);
+      }
+      const auto share = net::fair_share(pool, d);
+      for (std::size_t k = 0; k < idx.size(); ++k) {
+        caps[idx[k]] = std::min(caps[idx[k]], share.allocation[k]);
+      }
+    }
+  };
+  apply_disk_pool(env_.source.servers, true, src_procs);
+  apply_disk_pool(env_.destination.servers, false, dst_procs);
+
+  std::vector<net::Demand> demands(channels_.size());
+  double aggregate_demand = 0.0;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    if (!channels_[i].busy) continue;
+    demands[i] = {caps[i], static_cast<double>(channels_[i].parallelism)};
+    aggregate_demand += caps[i];
+  }
+
+  const BitsPerSecond capacity = path.available_bandwidth();
+  const auto shares = net::fair_share(capacity, demands);
+  const double eff = net::congestion_efficiency(env_.congestion, aggregate_demand,
+                                                capacity, total_streams);
+
+  // The allocation is an *average* rate (duty-weighted demand); while a
+  // channel is actually streaming it bursts above it — but the burst factor
+  // is capped so that even simultaneous bursts cannot exceed the link.
+  double total_avg = 0.0;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    total_avg += shares.allocation[i] * eff;
+  }
+  const double burst_cap =
+      total_avg > 0.0 ? std::max(1.0, capacity / total_avg) : 1.0;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    double jitter = 1.0;
+    if (env_.rate_jitter_sd > 0.0) {
+      // Multiplicative noise, floored so a draw never stalls a channel.
+      jitter = std::max(0.1, 1.0 + jitter_rng_.normal(0.0, env_.rate_jitter_sd));
+    }
+    channels_[i].rate =
+        shares.allocation[i] * eff * std::min(1.0 / duty[i], burst_cap) * jitter;
+  }
+
+  // NIC ceilings per server: proportional scale-down if the *average* load
+  // (burst rate x duty) oversubscribes the card.
+  auto nic_scale = [&](const std::vector<host::ServerSpec>& servers, bool source_side) {
+    for (std::size_t s = 0; s < servers.size(); ++s) {
+      if (servers[s].nic_speed <= 0.0) continue;
+      double sum = 0.0;
+      for (std::size_t i = 0; i < channels_.size(); ++i) {
+        const std::size_t at =
+            source_side ? channels_[i].src_server : channels_[i].dst_server;
+        if (at == s) sum += channels_[i].rate * duty[i];
+      }
+      if (sum > servers[s].nic_speed) {
+        const double f = servers[s].nic_speed / sum;
+        for (std::size_t i = 0; i < channels_.size(); ++i) {
+          const std::size_t at =
+              source_side ? channels_[i].src_server : channels_[i].dst_server;
+          if (at == s) channels_[i].rate *= f;
+        }
+      }
+    }
+  };
+  nic_scale(env_.source.servers, true);
+  nic_scale(env_.destination.servers, false);
+}
+
+void TransferSession::advance_channels(Seconds dt) {
+  for (auto& ch : channels_) {
+    if (!ch.busy) continue;
+    Seconds budget = dt;
+    while (budget > 1e-12 && ch.busy) {
+      if (ch.overhead_left > 0.0) {
+        const Seconds pay = std::min(ch.overhead_left, budget);
+        ch.overhead_left -= pay;
+        budget -= pay;
+        continue;
+      }
+      if (ch.rate <= 0.0) break;
+      const double can_move = ch.rate * budget / 8.0;
+      if (can_move >= static_cast<double>(ch.work.remaining)) {
+        const Bytes done = ch.work.remaining;
+        budget -= static_cast<double>(done) * 8.0 / ch.rate;
+        ch.moved_this_tick += done;
+        bytes_moved_ += done;
+        window_bytes_ += done;
+        chunk_remaining_[static_cast<std::size_t>(ch.chunk)] -= done;
+        ch.work = {};
+        ch.busy = false;
+        if (!pop_next_file(ch)) break;  // queue dry: channel idles
+      } else {
+        const Bytes moved = static_cast<Bytes>(can_move);
+        ch.work.remaining -= moved;
+        ch.moved_this_tick += moved;
+        bytes_moved_ += moved;
+        window_bytes_ += moved;
+        chunk_remaining_[static_cast<std::size_t>(ch.chunk)] -= moved;
+        budget = 0.0;
+      }
+    }
+  }
+}
+
+Joules TransferSession::account_energy(Seconds dt) {
+  Bytes tick_bytes = 0;
+  Joules tick_energy = 0.0;
+
+  auto account_side = [&](const Endpoint& ep, std::vector<ServerEnergy>& store,
+                          bool source_side) {
+    for (std::size_t s = 0; s < ep.servers.size(); ++s) {
+      host::HostLoad load;
+      for (const auto& ch : channels_) {
+        const std::size_t at = source_side ? ch.src_server : ch.dst_server;
+        if (at != s) continue;
+        ++load.processes;
+        load.threads += ch.parallelism;
+        load.goodput += static_cast<double>(ch.moved_this_tick) * 8.0 / dt;
+        load.buffered += static_cast<Bytes>(ch.parallelism) * env_.path.tcp_buffer;
+      }
+      if (load.processes == 0) continue;
+      load.disk_io = load.goodput;
+      const auto u = host::utilization(ep.servers[s], load);
+      const int n = host::active_cores(ep.servers[s], load);
+      const Watts p = power::fine_grained_power(ep.power, n, u);
+      store[s].joules += p * dt;
+      store[s].active_time += dt;
+      window_energy_ += p * dt;
+      tick_energy += p * dt;
+    }
+  };
+  account_side(env_.source, src_energy_, true);
+  account_side(env_.destination, dst_energy_, false);
+
+  for (const auto& ch : channels_) tick_bytes += ch.moved_this_tick;
+  network_energy_ += power::route_transfer_energy(env_.route, tick_bytes, env_.path.mtu);
+  return tick_energy;
+}
+
+bool TransferSession::finished() const {
+  for (const auto& q : queues_) {
+    if (!q.empty()) return false;
+  }
+  return std::none_of(channels_.begin(), channels_.end(),
+                      [](const Channel& ch) { return ch.busy; });
+}
+
+bool TransferSession::tick() {
+  const Seconds dt = config_.tick;
+
+  // Feed idle channels; if any chunk ran dry, rebalance and feed again.
+  bool dry = false;
+  for (auto& ch : channels_) {
+    if (!ch.busy && !pop_next_file(ch)) dry = true;
+  }
+  const int open_now = static_cast<int>(channels_.size());
+  if (dry || open_now != target_concurrency_) {
+    rebalance();
+    for (auto& ch : channels_) {
+      if (!ch.busy) pop_next_file(ch);
+    }
+  }
+
+  allocate_rates();
+  advance_channels(dt);
+  const Joules tick_energy = account_energy(dt);
+
+  if (observer_ != nullptr) {
+    TickTrace trace;
+    trace.time = sim_.now();
+    trace.end_system_power = tick_energy / dt;
+    trace.open_channels = static_cast<int>(channels_.size());
+    Bytes moved = 0;
+    trace.channels.reserve(channels_.size());
+    for (const auto& ch : channels_) {
+      trace.channels.push_back({ch.chunk, ch.parallelism, ch.busy, ch.rate,
+                                ch.moved_this_tick});
+      moved += ch.moved_this_tick;
+    }
+    trace.goodput = to_bits(moved) / dt;
+    observer_->on_tick(trace);
+  }
+
+  // The ticker first fires at t = dt, so the firing at time t covers the
+  // slice [t - dt, t]: "now" is the end of the slice just processed.
+  const Seconds t_end = sim_.now();
+  const bool done = finished();
+  if (t_end - window_start_ >= config_.sample_interval - 1e-9 || done) {
+    SampleStats s;
+    s.window_start = window_start_;
+    s.window_end = t_end;
+    s.bytes = window_bytes_;
+    s.end_system_energy = window_energy_;
+    int active = 0;
+    for (const auto& ch : channels_) active += ch.busy ? 1 : 0;
+    s.active_channels = active;
+    samples_.push_back(s);
+    window_start_ = t_end;
+    window_bytes_ = 0;
+    window_energy_ = 0.0;
+    if (controller_ != nullptr && !done) controller_->on_sample(*this, s);
+  }
+  return !done;
+}
+
+RunResult TransferSession::run(Controller* controller) {
+  controller_ = controller;
+  if (controller_ != nullptr) {
+    if (const auto init = controller_->initial_concurrency(); init) {
+      set_total_concurrency(*init);
+    }
+    controller_->on_start(*this);
+  }
+  rebalance();
+
+  Seconds finish_time = config_.max_sim_time;
+  bool completed = false;
+  sim_.add_ticker(config_.tick, [this, &finish_time, &completed]() {
+    if (sim_.now() > config_.max_sim_time) return false;
+    const bool more = tick();
+    if (!more) {
+      finish_time = sim_.now();
+      completed = true;
+    }
+    return more;
+  });
+  sim_.run_until(config_.max_sim_time + config_.tick);
+
+  RunResult res;
+  res.duration = completed ? finish_time : config_.max_sim_time;
+  res.bytes = bytes_moved_;
+  res.network_energy = network_energy_;
+  res.final_concurrency = target_concurrency_;
+  res.completed = completed;
+  res.samples = std::move(samples_);
+  res.source_servers = src_energy_;
+  res.destination_servers = dst_energy_;
+  for (const auto& s : src_energy_) res.end_system_energy += s.joules;
+  for (const auto& s : dst_energy_) res.end_system_energy += s.joules;
+  return res;
+}
+
+}  // namespace eadt::proto

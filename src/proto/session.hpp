@@ -1,0 +1,152 @@
+// The GridFTP-like transfer engine on top of the fluid-flow simulator.
+//
+// A TransferSession executes a TransferPlan over an Environment:
+//   * each data channel is one process on a source DTN and one on a
+//     destination DTN, moving one file at a time over `parallelism` TCP
+//     streams with `pipelining` control commands in flight;
+//   * every tick the engine computes per-channel rate caps (stream windows,
+//     CPU share, disk share), a weighted max-min fair share of the bottleneck,
+//     and a congestion efficiency, then advances file queues, resolving
+//     per-file control gaps and slow-start penalties inside the tick;
+//   * every tick it converts per-server load into utilization -> power ->
+//     energy (Section 2.2 models) and packet counts -> network device energy
+//     (Section 4, Eq. 5);
+//   * every sampling window (5 s, like the paper) it reports SampleStats to
+//     an optional Controller which may retarget the concurrency level — this
+//     is the hook HTEE's search phase and SLAEE's SLA tracking use.
+//
+// Determinism: the engine is driven purely by the Simulation clock; repeated
+// runs of the same (environment, dataset, plan) are bit-identical.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/environment.hpp"
+#include "proto/observer.hpp"
+#include "proto/plan.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace eadt::proto {
+
+struct ServerEnergy {
+  std::string name;
+  Joules joules = 0.0;
+  Seconds active_time = 0.0;
+};
+
+struct RunResult {
+  Seconds duration = 0.0;
+  Bytes bytes = 0;
+  Joules end_system_energy = 0.0;
+  Joules network_energy = 0.0;
+  int final_concurrency = 0;
+  bool completed = false;  ///< false if the max-sim-time guard tripped
+  std::vector<SampleStats> samples;
+  std::vector<ServerEnergy> source_servers;
+  std::vector<ServerEnergy> destination_servers;
+
+  [[nodiscard]] BitsPerSecond avg_throughput() const {
+    return duration > 0.0 ? to_bits(bytes) / duration : 0.0;
+  }
+  /// The paper's throughput/energy efficiency ratio.
+  [[nodiscard]] double throughput_per_joule() const {
+    return end_system_energy > 0.0 ? avg_throughput() / end_system_energy : 0.0;
+  }
+};
+
+struct SessionConfig {
+  Seconds tick = 0.1;
+  Seconds sample_interval = 5.0;
+  Seconds max_sim_time = 7.0 * 24 * 3600;  ///< hard stop; flags !completed
+};
+
+class TransferSession {
+ public:
+  TransferSession(const Environment& env, const Dataset& dataset, TransferPlan plan,
+                  SessionConfig config = {});
+
+  /// Run to completion (or the time guard). Controller may be null.
+  [[nodiscard]] RunResult run(Controller* controller = nullptr);
+
+  /// Attach a passive tick-level observer (may be null to detach). The
+  /// observer must outlive run().
+  void set_observer(SessionObserver* observer) noexcept { observer_ = observer; }
+
+  // --- Controller API (valid during run(), from on_sample) ---------------
+
+  /// Retarget the total number of open data channels; takes effect next tick.
+  void set_total_concurrency(int n);
+  /// MinE/SLAEE rule: cap the Large chunk's channels (nullopt removes the
+  /// cap — SLAEE's reArrangeChannels).
+  void set_large_chunk_cap(std::optional<int> cap);
+  [[nodiscard]] int total_concurrency_target() const noexcept { return target_concurrency_; }
+  [[nodiscard]] Seconds now() const noexcept;
+  [[nodiscard]] Bytes bytes_remaining() const noexcept;
+
+ private:
+  struct QueueEntry {
+    std::uint32_t file_id = 0;
+    Bytes remaining = 0;
+  };
+  struct Channel {
+    int chunk = -1;
+    int parallelism = 1;
+    int pipelining = 1;
+    bool cold = true;  ///< next file pays a full slow-start ramp
+    std::size_t src_server = 0;
+    std::size_t dst_server = 0;
+    bool busy = false;
+    QueueEntry work{};
+    Seconds overhead_left = 0.0;
+    BitsPerSecond rate = 0.0;
+    Bytes moved_this_tick = 0;
+  };
+
+  void rebalance();
+  void open_channel(int chunk);
+  void close_channel(std::size_t idx);      // requeues any in-flight remainder
+  void assign_channel(Channel& ch, int chunk);
+  [[nodiscard]] std::vector<int> desired_allocation() const;
+  [[nodiscard]] bool chunk_live(int chunk) const;
+  /// Non-transfer time around one file on this channel (server-side per-file
+  /// cost, control-channel gap, congestion-window ramp).
+  [[nodiscard]] Seconds per_file_overhead(const Channel& ch, Bytes size,
+                                          bool cold) const;
+  bool pop_next_file(Channel& ch);          // false if the queue is empty
+  void advance_channels(Seconds dt);
+  void allocate_rates();
+  /// Returns the end-system energy accrued this tick.
+  Joules account_energy(Seconds dt);
+  [[nodiscard]] bool finished() const;
+  bool tick();                               // one dt step; false when done
+
+  const Environment& env_;
+  TransferPlan plan_;
+  SessionConfig config_;
+  std::vector<std::deque<QueueEntry>> queues_;  // per chunk
+  std::vector<Bytes> chunk_remaining_;
+  std::vector<Channel> channels_;
+  int target_concurrency_ = 0;
+  std::optional<int> large_cap_;
+  std::size_t rr_src_ = 0, rr_dst_ = 0;  // round-robin placement cursors
+
+  sim::Simulation sim_;
+  Rng jitter_rng_{1};  // reseeded from env.jitter_seed in the constructor
+  Controller* controller_ = nullptr;
+  SessionObserver* observer_ = nullptr;
+  Bytes total_bytes_ = 0;
+  Bytes bytes_moved_ = 0;
+  Joules network_energy_ = 0.0;
+  std::vector<ServerEnergy> src_energy_, dst_energy_;
+  // sampling window accumulators
+  Seconds window_start_ = 0.0;
+  Bytes window_bytes_ = 0;
+  Joules window_energy_ = 0.0;
+  std::vector<SampleStats> samples_;
+};
+
+}  // namespace eadt::proto

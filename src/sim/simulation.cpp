@@ -1,0 +1,57 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace eadt::sim {
+
+EventId Simulation::schedule_at(Seconds t, std::function<void()> fn) {
+  const Seconds when = std::max(t, now_);
+  const EventId id{when, next_seq_++};
+  queue_.emplace(Key{id.time, id.seq}, std::move(fn));
+  return id;
+}
+
+EventId Simulation::schedule_after(Seconds dt, std::function<void()> fn) {
+  return schedule_at(now_ + std::max(dt, 0.0), std::move(fn));
+}
+
+bool Simulation::cancel(EventId id) {
+  if (!id.valid()) return false;
+  return queue_.erase(Key{id.time, id.seq}) > 0;
+}
+
+EventId Simulation::add_ticker(Seconds interval, std::function<bool()> fn) {
+  // Self-rescheduling closure; the shared_ptr lets the lambda re-arm itself.
+  auto shared_fn = std::make_shared<std::function<bool()>>(std::move(fn));
+  std::function<void()> tick = [this, interval, shared_fn]() {
+    if ((*shared_fn)()) {
+      add_ticker(interval, *shared_fn);
+    }
+  };
+  return schedule_after(interval, std::move(tick));
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  auto it = queue_.begin();
+  now_ = it->first.first;
+  auto fn = std::move(it->second);
+  queue_.erase(it);
+  fn();
+  return true;
+}
+
+std::uint64_t Simulation::run_until(Seconds deadline) {
+  std::uint64_t fired = 0;
+  while (!queue_.empty() && queue_.begin()->first.first <= deadline) {
+    step();
+    ++fired;
+  }
+  if (queue_.empty() && now_ < deadline && deadline < std::numeric_limits<double>::infinity()) {
+    now_ = deadline;
+  }
+  return fired;
+}
+
+}  // namespace eadt::sim

@@ -1,0 +1,71 @@
+// Discrete-event simulation core.
+//
+// The transfer engine is a fluid-flow model driven by a fixed-interval ticker
+// (rates are recomputed each tick; per-file completions are resolved inside
+// the tick), while adaptive controllers (HTEE's 5-second probes, SLAEE's
+// adjustments) hang off scheduled events. Both live on this queue.
+//
+// Determinism: events at equal timestamps fire in scheduling order (a
+// monotonically increasing sequence number breaks ties), and the engine never
+// consults the wall clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "util/units.hpp"
+
+namespace eadt::sim {
+
+/// Handle for a scheduled event; valid until the event fires or is cancelled.
+struct EventId {
+  Seconds time = 0.0;
+  std::uint64_t seq = 0;
+  [[nodiscard]] bool valid() const noexcept { return seq != 0; }
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] Seconds now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute simulated time `t` (>= now, clamped to now).
+  EventId schedule_at(Seconds t, std::function<void()> fn);
+
+  /// Schedule `fn` after `dt` simulated seconds (dt < 0 is clamped to 0).
+  EventId schedule_after(Seconds dt, std::function<void()> fn);
+
+  /// Cancel a pending event. Returns false if it already fired / was
+  /// cancelled / the id is empty.
+  bool cancel(EventId id);
+
+  /// Repeating event every `interval`; returns the id of the *first*
+  /// occurrence. The repetition stops when `fn` returns false.
+  /// NOTE: because each firing schedules the next one, cancelling with the
+  /// returned id only works before the first firing; use the callback's
+  /// return value to stop an in-flight ticker.
+  EventId add_ticker(Seconds interval, std::function<bool()> fn);
+
+  /// Fire the next pending event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue empties or simulated time would pass `deadline`.
+  /// Returns the number of events fired.
+  std::uint64_t run_until(Seconds deadline = std::numeric_limits<double>::infinity());
+
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+
+ private:
+  using Key = std::pair<Seconds, std::uint64_t>;
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::map<Key, std::function<void()>> queue_;
+};
+
+}  // namespace eadt::sim

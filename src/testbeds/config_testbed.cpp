@@ -1,0 +1,252 @@
+#include "testbeds/config_testbed.hpp"
+
+#include <sstream>
+
+namespace eadt::testbeds {
+namespace {
+
+std::optional<net::DeviceKind> device_kind_from_name(std::string_view name) {
+  if (name == "enterprise-switch") return net::DeviceKind::kEnterpriseSwitch;
+  if (name == "edge-switch") return net::DeviceKind::kEdgeSwitch;
+  if (name == "metro-router") return net::DeviceKind::kMetroRouter;
+  if (name == "edge-router") return net::DeviceKind::kEdgeRouter;
+  return std::nullopt;
+}
+
+/// Read one endpoint. `section` is "source" or "destination"; the shared
+/// "[endpoint]" section provides cross-side defaults, and the built-in XSEDE
+/// DTN is the template underneath.
+bool fill_endpoint(const Config& cfg, const std::string& section,
+                   proto::Endpoint& endpoint, std::string* error) {
+  auto key = [&](std::string_view k) -> std::string_view {
+    // Per-side section wins over the shared [endpoint] section.
+    return cfg.has(section, k) ? std::string_view(section) : std::string_view("endpoint");
+  };
+  const Testbed reference = xsede();
+  host::ServerSpec tmpl = reference.env.source.servers.front();
+  tmpl.name = cfg.get_string(key("site"), "site", section);
+  tmpl.cores = cfg.get_int(key("cores"), "cores", tmpl.cores);
+  tmpl.cpu_tdp = cfg.get_double(key("tdp_watts"), "tdp_watts", tmpl.cpu_tdp);
+  tmpl.nic_speed = gbps(cfg.get_double(key("nic_gbps"), "nic_gbps",
+                                       to_gbps(tmpl.nic_speed)));
+  tmpl.mem_total = cfg.get_size(key("mem"), "mem", tmpl.mem_total);
+
+  const std::string disk_kind =
+      cfg.get_string(key("disk"), "disk", "parallel");
+  if (disk_kind == "parallel") {
+    tmpl.disk.kind = host::DiskKind::kParallelArray;
+  } else if (disk_kind == "single") {
+    tmpl.disk.kind = host::DiskKind::kSingleDisk;
+  } else {
+    if (error != nullptr) *error = section + ": unknown disk kind '" + disk_kind + "'";
+    return false;
+  }
+  tmpl.disk.max_bandwidth = gbps(cfg.get_double(key("disk_gbps"), "disk_gbps",
+                                                to_gbps(tmpl.disk.max_bandwidth)));
+  tmpl.disk.ramp = cfg.get_double(key("disk_ramp"), "disk_ramp", tmpl.disk.ramp);
+  tmpl.disk.thrash_alpha =
+      cfg.get_double(key("disk_thrash"), "disk_thrash", tmpl.disk.thrash_alpha);
+
+  tmpl.per_core_goodput = gbps(cfg.get_double(key("per_core_gbps"), "per_core_gbps",
+                                              to_gbps(tmpl.per_core_goodput)));
+  tmpl.per_stream_disk = gbps(cfg.get_double(key("per_stream_gbps"), "per_stream_gbps",
+                                             to_gbps(tmpl.per_stream_disk)));
+  tmpl.proc_base_util =
+      cfg.get_double(key("proc_base_util"), "proc_base_util", tmpl.proc_base_util);
+  tmpl.util_per_gbps =
+      cfg.get_double(key("util_per_gbps"), "util_per_gbps", tmpl.util_per_gbps);
+  tmpl.util_contention =
+      cfg.get_double(key("util_contention"), "util_contention", tmpl.util_contention);
+  tmpl.cs_alpha = cfg.get_double(key("cs_alpha"), "cs_alpha", tmpl.cs_alpha);
+  tmpl.cs_util_per_thread = cfg.get_double(key("cs_util_per_thread"),
+                                           "cs_util_per_thread", tmpl.cs_util_per_thread);
+
+  const int servers =
+      cfg.get_int(key("servers"), "servers",
+                  static_cast<int>(reference.env.source.servers.size()));
+  if (servers < 1 || servers > 64) {
+    if (error != nullptr) *error = section + ": servers must be in [1, 64]";
+    return false;
+  }
+  endpoint.site = tmpl.name;
+  endpoint.servers.clear();
+  for (int i = 0; i < servers; ++i) {
+    host::ServerSpec s = tmpl;
+    s.name = tmpl.name + "-dtn" + std::to_string(i);
+    endpoint.servers.push_back(std::move(s));
+  }
+
+  const std::string psec = "power." + section;
+  auto pkey = [&](std::string_view k) -> std::string_view {
+    return cfg.has(psec, k) ? std::string_view(psec) : std::string_view("power");
+  };
+  power::PowerCoefficients pc = xsede().env.source.power;
+  pc.cpu_scale = cfg.get_double(pkey("cpu_scale"), "cpu_scale", pc.cpu_scale);
+  pc.mem = cfg.get_double(pkey("mem_watts"), "mem_watts", pc.mem);
+  pc.disk = cfg.get_double(pkey("disk_watts"), "disk_watts", pc.disk);
+  pc.nic = cfg.get_double(pkey("nic_watts"), "nic_watts", pc.nic);
+  pc.active_base = cfg.get_double(pkey("active_base_watts"), "active_base_watts",
+                                  pc.active_base);
+  endpoint.power = pc;
+  return true;
+}
+
+}  // namespace
+
+std::optional<Testbed> testbed_from_config(const Config& cfg, std::string* error) {
+  Testbed t = xsede();  // template defaults
+
+  t.env.name = cfg.get_string("testbed", "name", "custom-testbed");
+  t.default_max_channels =
+      cfg.get_int("testbed", "max_channels", t.default_max_channels);
+  t.dataset_seed = static_cast<std::uint64_t>(
+      cfg.get_int("testbed", "seed", static_cast<int>(t.dataset_seed)));
+
+  t.env.path.bandwidth =
+      gbps(cfg.get_double("path", "bandwidth_gbps", to_gbps(t.env.path.bandwidth)));
+  t.env.path.rtt = cfg.get_double("path", "rtt_ms", t.env.path.rtt * 1000.0) / 1000.0;
+  t.env.path.tcp_buffer = cfg.get_size("path", "buffer", t.env.path.tcp_buffer);
+  t.env.path.mtu = cfg.get_size("path", "mtu", t.env.path.mtu);
+  if (t.env.path.bandwidth <= 0.0 || t.env.path.rtt < 0.0) {
+    if (error != nullptr) *error = "path: bandwidth must be > 0 and rtt >= 0";
+    return std::nullopt;
+  }
+
+  t.env.congestion.loss_beta =
+      cfg.get_double("congestion", "loss_beta", t.env.congestion.loss_beta);
+  t.env.congestion.stream_knee =
+      cfg.get_int("congestion", "stream_knee", t.env.congestion.stream_knee);
+  t.env.congestion.stream_beta =
+      cfg.get_double("congestion", "stream_beta", t.env.congestion.stream_beta);
+
+  t.env.warm_fraction =
+      cfg.get_double("tuning", "warm_fraction", t.env.warm_fraction);
+  t.env.per_file_cost =
+      cfg.get_double("tuning", "per_file_cost_s", t.env.per_file_cost);
+
+  if (!fill_endpoint(cfg, "source", t.env.source, error)) return std::nullopt;
+  if (!fill_endpoint(cfg, "destination", t.env.destination, error)) return std::nullopt;
+
+  if (cfg.has("route", "devices")) {
+    std::vector<net::NetworkDevice> devices;
+    int index = 0;
+    for (const auto& name : cfg.get_list("route", "devices")) {
+      const auto kind = device_kind_from_name(name);
+      if (!kind) {
+        if (error != nullptr) *error = "route: unknown device kind '" + name + "'";
+        return std::nullopt;
+      }
+      devices.push_back({*kind, name + "-" + std::to_string(index++)});
+    }
+    t.env.route = net::Route(std::move(devices));
+  }
+
+  if (cfg.has_section("dataset")) {
+    t.dataset_listing_path = cfg.get_string("dataset", "listing", "");
+    proto::DatasetRecipe recipe;
+    recipe.name = cfg.get_string("dataset", "name", t.env.name + "-dataset");
+    recipe.total_bytes = cfg.get_size("dataset", "total", t.recipe.total_bytes);
+    if (cfg.has("dataset", "bands")) {
+      double share_sum = 0.0;
+      for (const auto& band_text : cfg.get_list("dataset", "bands")) {
+        // "minsize:maxsize:byteshare"
+        const std::size_t c1 = band_text.find(':');
+        const std::size_t c2 = c1 == std::string::npos ? std::string::npos
+                                                       : band_text.find(':', c1 + 1);
+        if (c2 == std::string::npos) {
+          if (error != nullptr) {
+            *error = "dataset: band '" + band_text + "' is not min:max:share";
+          }
+          return std::nullopt;
+        }
+        const auto min_size = parse_size(band_text.substr(0, c1));
+        const auto max_size = parse_size(band_text.substr(c1 + 1, c2 - c1 - 1));
+        const double share = std::strtod(band_text.c_str() + c2 + 1, nullptr);
+        if (!min_size || !max_size || *min_size == 0 || *max_size < *min_size ||
+            share <= 0.0) {
+          if (error != nullptr) {
+            *error = "dataset: malformed band '" + band_text + "'";
+          }
+          return std::nullopt;
+        }
+        recipe.bands.push_back({*min_size, *max_size, share});
+        share_sum += share;
+      }
+      if (share_sum < 0.99 || share_sum > 1.01) {
+        if (error != nullptr) *error = "dataset: band shares must sum to 1";
+        return std::nullopt;
+      }
+    } else {
+      recipe.bands = t.recipe.bands;
+    }
+    t.recipe = std::move(recipe);
+  }
+  return t;
+}
+
+std::optional<Testbed> testbed_from_file(const std::string& path, std::string* error) {
+  const auto cfg = Config::load(path, error);
+  if (!cfg) return std::nullopt;
+  return testbed_from_config(*cfg, error);
+}
+
+std::string testbed_config_reference() {
+  std::ostringstream os;
+  const Testbed t = xsede();
+  const auto& s = t.env.source.servers.front();
+  const auto& pc = t.env.source.power;
+  os << "# eadt testbed configuration reference (defaults = XSEDE template)\n"
+     << "[testbed]\n"
+     << "name = " << t.env.name << "\n"
+     << "max_channels = " << t.default_max_channels << "\n"
+     << "seed = " << t.dataset_seed << "\n\n"
+     << "[path]\n"
+     << "bandwidth_gbps = " << to_gbps(t.env.path.bandwidth) << "\n"
+     << "rtt_ms = " << t.env.path.rtt * 1000.0 << "\n"
+     << "buffer = " << to_mb(t.env.path.tcp_buffer) << "MB\n"
+     << "mtu = " << t.env.path.mtu << "\n\n"
+     << "[congestion]\n"
+     << "loss_beta = " << t.env.congestion.loss_beta << "\n"
+     << "stream_knee = " << t.env.congestion.stream_knee << "\n"
+     << "stream_beta = " << t.env.congestion.stream_beta << "\n\n"
+     << "[tuning]\n"
+     << "warm_fraction = " << t.env.warm_fraction << "\n"
+     << "per_file_cost_s = " << t.env.per_file_cost << "\n\n"
+     << "[endpoint]  ; shared by both sides; [source]/[destination] override\n"
+     << "servers = " << t.env.source.servers.size() << "\n"
+     << "cores = " << s.cores << "\n"
+     << "tdp_watts = " << s.cpu_tdp << "\n"
+     << "nic_gbps = " << to_gbps(s.nic_speed) << "\n"
+     << "mem = " << to_gb(s.mem_total) << "GB\n"
+     << "disk = parallel  ; or: single\n"
+     << "disk_gbps = " << to_gbps(s.disk.max_bandwidth) << "\n"
+     << "disk_ramp = " << s.disk.ramp << "\n"
+     << "disk_thrash = " << s.disk.thrash_alpha << "\n"
+     << "per_core_gbps = " << to_gbps(s.per_core_goodput) << "\n"
+     << "per_stream_gbps = " << to_gbps(s.per_stream_disk) << "\n"
+     << "proc_base_util = " << s.proc_base_util << "\n"
+     << "util_per_gbps = " << s.util_per_gbps << "\n"
+     << "util_contention = " << s.util_contention << "\n"
+     << "cs_alpha = " << s.cs_alpha << "\n"
+     << "cs_util_per_thread = " << s.cs_util_per_thread << "\n\n"
+     << "[source]\n"
+     << "site = stampede\n\n"
+     << "[destination]\n"
+     << "site = gordon\n\n"
+     << "[power]  ; shared; power.source / power.destination override\n"
+     << "cpu_scale = " << pc.cpu_scale << "\n"
+     << "mem_watts = " << pc.mem << "\n"
+     << "disk_watts = " << pc.disk << "\n"
+     << "nic_watts = " << pc.nic << "\n"
+     << "active_base_watts = " << pc.active_base << "\n\n"
+     << "[dataset]\n"
+     << "name = " << t.recipe.name << "\n"
+     << "total = " << to_gb(t.recipe.total_bytes) << "GB\n"
+     << "bands = 3MB:50MB:0.25, 50MB:1GB:0.35, 1GB:20GB:0.40\n\n"
+     << "[route]\n"
+     << "devices = edge-switch, enterprise-switch, edge-router, edge-router, "
+        "enterprise-switch, edge-switch\n";
+  return os.str();
+}
+
+}  // namespace eadt::testbeds

@@ -1,0 +1,91 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace eadt {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value.
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // Avoid the all-zero state xoshiro cannot leave.
+  std::uint64_t sm = seed ^ 0xA0761D6478BD642FULL;
+  for (auto& w : s_) w = splitmix64(sm);
+}
+
+Rng Rng::fork(std::string_view tag) const noexcept {
+  // Mix the current state (not advanced) with the tag hash.
+  const std::uint64_t mix = s_[0] ^ rotl(s_[2], 17) ^ fnv1a64(tag);
+  return Rng(mix);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() noexcept {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept {
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return next_u64();  // full range
+  // Multiply-shift without 128-bit arithmetic: scale a 53-bit uniform double.
+  // Bias is < 2^-53 * span, negligible for simulation workloads.
+  const double u = uniform01();
+  std::uint64_t off = static_cast<std::uint64_t>(u * static_cast<double>(span));
+  if (off >= span) off = span - 1;  // guard the u ~= 1 rounding edge
+  return lo + off;
+}
+
+double Rng::log_uniform(double lo, double hi) noexcept {
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  return std::exp(uniform(llo, lhi));
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Box-Muller; uniform01() can return 0, so flip to (0, 1].
+  const double u1 = 1.0 - uniform01();
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace eadt

@@ -1,0 +1,51 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of a simulation draws from an Rng that was seeded
+// explicitly, so a (seed, configuration) pair is bit-reproducible. Named
+// sub-streams decorrelate components (workload vs. noise vs. jitter) without
+// the order of construction mattering.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace eadt {
+
+/// xoshiro256** PRNG. Small, fast, and fully deterministic across platforms
+/// (std::mt19937 would also be portable, but distributions are not; we ship
+/// our own uniform/normal transforms below for that reason).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Derive an independent child stream; `tag` is hashed into the seed so the
+  /// same tag always yields the same stream for a given parent seed.
+  [[nodiscard]] Rng fork(std::string_view tag) const noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Log-uniform in [lo, hi); requires 0 < lo <= hi. Used for file-size mixes
+  /// ("3 MB - 20 GB") where every decade should be represented.
+  double log_uniform(double lo, double hi) noexcept;
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// FNV-1a 64-bit hash, used for stream forking and config fingerprints.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view s) noexcept;
+
+}  // namespace eadt

@@ -1,0 +1,117 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eadt {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+std::optional<double> pearson_correlation(std::span<const double> x,
+                                          std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) return std::nullopt;
+  RunningStats sx, sy;
+  for (double v : x) sx.add(v);
+  for (double v : y) sy.add(v);
+  if (sx.stddev() <= 0.0 || sy.stddev() <= 0.0) return std::nullopt;
+  double cov = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    cov += (x[i] - sx.mean()) * (y[i] - sy.mean());
+  }
+  cov /= static_cast<double>(x.size() - 1);
+  return cov / (sx.stddev() * sy.stddev());
+}
+
+double RegressionResult::predict(std::span<const double> row) const {
+  double y = 0.0;
+  const std::size_t n = std::min(row.size(), coefficients.size());
+  for (std::size_t i = 0; i < n; ++i) y += coefficients[i] * row[i];
+  return y;
+}
+
+std::optional<RegressionResult> fit_linear(std::span<const std::vector<double>> rows,
+                                           std::span<const double> targets) {
+  if (rows.empty() || rows.size() != targets.size()) return std::nullopt;
+  const std::size_t k = rows.front().size();
+  if (k == 0 || rows.size() < k) return std::nullopt;
+  for (const auto& r : rows) {
+    if (r.size() != k) return std::nullopt;
+  }
+
+  // Normal equations: (X^T X) beta = X^T y.
+  std::vector<std::vector<double>> a(k, std::vector<double>(k + 1, 0.0));
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) a[i][j] += rows[r][i] * rows[r][j];
+      a[i][k] += rows[r][i] * targets[r];
+    }
+  }
+
+  // Gauss-Jordan with partial pivoting on the augmented matrix.
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < k; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) return std::nullopt;  // singular
+    std::swap(a[pivot], a[col]);
+    const double inv = 1.0 / a[col][col];
+    for (auto& v : a[col]) v *= inv;
+    for (std::size_t r = 0; r < k; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c <= k; ++c) a[r][c] -= f * a[col][c];
+    }
+  }
+
+  RegressionResult res;
+  res.coefficients.resize(k);
+  for (std::size_t i = 0; i < k; ++i) res.coefficients[i] = a[i][k];
+
+  RunningStats ty;
+  for (double t : targets) ty.add(t);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const double e = targets[r] - res.predict(rows[r]);
+    ss_res += e * e;
+    const double d = targets[r] - ty.mean();
+    ss_tot += d * d;
+  }
+  res.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return res;
+}
+
+std::optional<double> mape_percent(std::span<const double> predicted,
+                                   std::span<const double> actual, double eps) {
+  if (predicted.size() != actual.size()) return std::nullopt;
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (std::fabs(actual[i]) < eps) continue;
+    sum += std::fabs((predicted[i] - actual[i]) / actual[i]);
+    ++n;
+  }
+  if (n == 0) return std::nullopt;
+  return 100.0 * sum / static_cast<double>(n);
+}
+
+}  // namespace eadt

@@ -1,0 +1,61 @@
+// Streaming statistics and ordinary-least-squares regression.
+//
+// The regression is what the paper's power-model "model building phase" uses:
+// component utilizations are swept, power is recorded, and linear regression
+// derives the per-component coefficients (Section 2.2).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace eadt {
+
+/// Welford running mean/variance, numerically stable.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Pearson correlation of two equally sized series; nullopt if degenerate.
+[[nodiscard]] std::optional<double> pearson_correlation(std::span<const double> x,
+                                                        std::span<const double> y);
+
+/// Result of a least-squares fit y ~ X * beta (no implicit intercept; append
+/// a constant-1 column yourself if you want one).
+struct RegressionResult {
+  std::vector<double> coefficients;
+  double r_squared = 0.0;
+  [[nodiscard]] double predict(std::span<const double> row) const;
+};
+
+/// Ordinary least squares via normal equations + Gauss-Jordan.
+/// Returns nullopt when the system is singular or inputs are malformed
+/// (rows empty, ragged rows, fewer rows than features).
+[[nodiscard]] std::optional<RegressionResult> fit_linear(
+    std::span<const std::vector<double>> rows, std::span<const double> targets);
+
+/// Mean absolute percentage error between prediction and truth, in percent.
+/// Entries with |truth| < eps are skipped; nullopt if nothing remains.
+[[nodiscard]] std::optional<double> mape_percent(std::span<const double> predicted,
+                                                 std::span<const double> actual,
+                                                 double eps = 1e-9);
+
+}  // namespace eadt

@@ -1,0 +1,38 @@
+// Console table / CSV rendering for the figure-reproduction benches.
+//
+// Every bench prints the same rows the paper's figure plots, as a fixed-width
+// table (human) and optionally CSV (machine). Keeping this in one place makes
+// all bench output uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eadt {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must match the header count (checked, throws
+  /// std::invalid_argument on programmer error).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 1);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Fixed-width rendering with a rule under the header.
+  void render(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  void render_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eadt

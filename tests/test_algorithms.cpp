@@ -1,0 +1,151 @@
+#include "core/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_env.hpp"
+
+namespace eadt::core {
+namespace {
+
+using testutil::mixed_dataset;
+using testutil::small_env;
+
+TEST(TunedChunkPlan, PartitionsAndTunesPerChunk) {
+  const auto env = small_env();  // BDP = 1 Gbps * 20 ms = 2.5 MB
+  const auto ds = mixed_dataset();
+  const auto plan = tuned_chunk_plan(env, ds);
+  ASSERT_FALSE(plan.chunks.empty());
+  ASSERT_EQ(plan.chunks.size(), plan.params.size());
+  // Chunks ordered Small -> Large with ascending average file size.
+  for (std::size_t i = 1; i < plan.chunks.size(); ++i) {
+    EXPECT_LT(plan.chunks[i - 1].avg_file_size(), plan.chunks[i].avg_file_size());
+  }
+  // Small chunks pipeline deeper than large ones.
+  EXPECT_GE(plan.params.front().pipelining, plan.params.back().pipelining);
+  for (const auto& p : plan.params) {
+    EXPECT_GE(p.pipelining, 1);
+    EXPECT_GE(p.parallelism, 1);
+  }
+}
+
+TEST(MinE, ChannelWalkMatchesAlgorithm1) {
+  const auto env = small_env();
+  const auto ds = mixed_dataset();
+  const auto plan = plan_min_energy(env, ds, 12);
+  ASSERT_GE(plan.chunks.size(), 2u);
+  // The Large chunk gets exactly one channel.
+  for (std::size_t i = 0; i < plan.chunks.size(); ++i) {
+    if (plan.chunks[i].cls == proto::SizeClass::kLarge) {
+      EXPECT_EQ(plan.params[i].channels, 1);
+    }
+  }
+  // The Small chunk takes the biggest share.
+  EXPECT_GE(plan.params.front().channels, plan.params.back().channels);
+  EXPECT_LE(plan.total_channels(), 12);
+  EXPECT_EQ(plan.steal, proto::StealPolicy::kNonLargeOnly);
+  EXPECT_EQ(plan.placement, proto::Placement::kPacked);
+  EXPECT_FALSE(plan.sequential_chunks);
+}
+
+TEST(MinE, RespectsTinyBudgets) {
+  const auto env = small_env();
+  const auto ds = mixed_dataset();
+  for (int budget : {1, 2, 3}) {
+    const auto plan = plan_min_energy(env, ds, budget);
+    EXPECT_LE(plan.total_channels(), budget + 1);  // ceil((x+1)/2) walk
+    EXPECT_GE(plan.total_channels(), 1);
+  }
+}
+
+TEST(Htee, PlanUsesFloorAllocation) {
+  const auto env = small_env();
+  const auto ds = mixed_dataset();
+  const auto plan = plan_htee(env, ds, 10);
+  EXPECT_LE(plan.total_channels(), 10);
+  EXPECT_EQ(plan.steal, proto::StealPolicy::kAll);
+}
+
+TEST(HteeController, SearchVisitsOddLevelsAndPicksBest) {
+  const auto env = small_env();
+  proto::Dataset ds;
+  for (int i = 0; i < 120; ++i) ds.files.push_back({12 * kMB});
+  proto::SessionConfig cfg;
+  cfg.sample_interval = 1.0;  // fast probes for the test
+  HteeController ctl(7);
+  proto::TransferSession s(env, ds, plan_htee(env, ds, 7), cfg);
+  const auto r = s.run(&ctl);
+  EXPECT_TRUE(r.completed);
+  EXPECT_TRUE(ctl.search_finished());
+  // Chosen level is one of the probed odd levels.
+  const int chosen = ctl.chosen_level();
+  EXPECT_TRUE(chosen == 1 || chosen == 3 || chosen == 5 || chosen == 7) << chosen;
+  EXPECT_EQ(r.final_concurrency, chosen);
+}
+
+TEST(HteeController, SingleLevelSearchTerminates) {
+  const auto env = small_env();
+  proto::Dataset ds;
+  for (int i = 0; i < 20; ++i) ds.files.push_back({10 * kMB});
+  proto::SessionConfig cfg;
+  cfg.sample_interval = 0.5;
+  HteeController ctl(1);
+  proto::TransferSession s(env, ds, plan_htee(env, ds, 1), cfg);
+  const auto r = s.run(&ctl);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(ctl.chosen_level(), 1);
+}
+
+TEST(Slaee, PlanPrioritisesSmallChunks) {
+  const auto env = small_env();
+  const auto ds = mixed_dataset();
+  const auto plan = plan_slaee(env, ds, 8);
+  EXPECT_EQ(plan.total_channels(), 8);
+  EXPECT_EQ(plan.placement, proto::Placement::kPacked);
+}
+
+TEST(SlaeeController, HoldsWhenTargetIsMet) {
+  const auto env = small_env();
+  proto::Dataset ds;
+  for (int i = 0; i < 40; ++i) ds.files.push_back({20 * kMB});
+  proto::SessionConfig cfg;
+  cfg.sample_interval = 1.0;
+  // Target far below what concurrency 1 delivers: level should stay at 1.
+  SlaeeController ctl(mbps(10.0), 8);
+  proto::TransferSession s(env, ds, plan_slaee(env, ds, 8), cfg);
+  const auto r = s.run(&ctl);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(ctl.final_level(), 1);
+  EXPECT_FALSE(ctl.rearranged());
+}
+
+TEST(SlaeeController, JumpsTowardDemandingTargets) {
+  const auto env = small_env();
+  proto::Dataset ds;
+  for (int i = 0; i < 60; ++i) ds.files.push_back({25 * kMB});
+  proto::SessionConfig cfg;
+  cfg.sample_interval = 1.0;
+  SlaeeController ctl(mbps(700.0), 8);
+  proto::TransferSession s(env, ds, plan_slaee(env, ds, 8), cfg);
+  const auto r = s.run(&ctl);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(ctl.final_level(), 1);
+}
+
+TEST(SlaeeController, UnreachableTargetMaxesOutAndRearranges) {
+  const auto env = small_env();
+  proto::Dataset ds;
+  for (int i = 0; i < 80; ++i) ds.files.push_back({25 * kMB});
+  proto::SessionConfig cfg;
+  cfg.sample_interval = 1.0;
+  // 5 Gbps on a 1 Gbps link: impossible; SLAEE must reach maxChannel and
+  // trigger reArrangeChannels rather than loop forever.
+  SlaeeController ctl(gbps(5.0), 6);
+  proto::TransferSession s(env, ds, plan_slaee(env, ds, 6), cfg);
+  const auto r = s.run(&ctl);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(ctl.final_level(), 6);
+  EXPECT_TRUE(ctl.rearranged());
+}
+
+}  // namespace
+}  // namespace eadt::core

@@ -1,0 +1,51 @@
+#include "bench_common.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eadt::bench {
+namespace {
+
+Options parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "bench");  // argv[0]
+  return parse_options(static_cast<int>(args.size()),
+                       const_cast<char**>(args.data()));
+}
+
+TEST(BenchOptions, Defaults) {
+  const auto opt = parse({});
+  EXPECT_EQ(opt.scale, 1u);
+  EXPECT_FALSE(opt.csv);
+  EXPECT_TRUE(opt.plot_stem.empty());
+}
+
+TEST(BenchOptions, ScaleForms) {
+  EXPECT_EQ(parse({"--scale", "8"}).scale, 8u);
+  EXPECT_EQ(parse({"--scale=16"}).scale, 16u);
+  // Nonsense clamps to 1, never 0 (a divisor).
+  EXPECT_EQ(parse({"--scale", "0"}).scale, 1u);
+  EXPECT_EQ(parse({"--scale", "-3"}).scale, 1u);
+  EXPECT_EQ(parse({"--scale=junk"}).scale, 1u);
+}
+
+TEST(BenchOptions, CsvAndPlot) {
+  const auto opt = parse({"--csv", "--plot", "out/fig2"});
+  EXPECT_TRUE(opt.csv);
+  EXPECT_EQ(opt.plot_stem, "out/fig2");
+  EXPECT_EQ(parse({"--plot=stem"}).plot_stem, "stem");
+}
+
+TEST(BenchOptions, UnknownFlagsAreIgnored) {
+  const auto opt = parse({"--frobnicate", "--csv"});
+  EXPECT_TRUE(opt.csv);
+}
+
+TEST(BenchOptions, TrailingValuelessFlagsAreSafe) {
+  // "--scale" and "--plot" with no following value must not read past argv.
+  const auto a = parse({"--scale"});
+  EXPECT_EQ(a.scale, 1u);
+  const auto b = parse({"--plot"});
+  EXPECT_TRUE(b.plot_stem.empty());
+}
+
+}  // namespace
+}  // namespace eadt::bench

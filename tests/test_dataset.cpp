@@ -1,0 +1,210 @@
+#include "proto/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace eadt::proto {
+namespace {
+
+DatasetRecipe mixed_recipe(Bytes total = 4 * kGB) {
+  DatasetRecipe r;
+  r.name = "test";
+  r.total_bytes = total;
+  r.bands = {
+      {3 * kMB, 50 * kMB, 0.25},
+      {50 * kMB, 256 * kMB, 0.35},
+      {256 * kMB, 1 * kGB, 0.40},
+  };
+  return r;
+}
+
+TEST(DatasetGen, HitsTotalBytes) {
+  const auto ds = generate_dataset(mixed_recipe(), Rng(1));
+  const double total = static_cast<double>(ds.total_bytes());
+  EXPECT_NEAR(total, static_cast<double>(4 * kGB), static_cast<double>(4 * kGB) * 0.01);
+}
+
+TEST(DatasetGen, RespectsBandShares) {
+  const auto recipe = mixed_recipe(8 * kGB);
+  const auto ds = generate_dataset(recipe, Rng(2));
+  Bytes small = 0, medium = 0, large = 0;
+  for (const auto& f : ds.files) {
+    if (f.size <= 50 * kMB) small += f.size;
+    else if (f.size <= 256 * kMB) medium += f.size;
+    else large += f.size;
+  }
+  const double t = static_cast<double>(ds.total_bytes());
+  EXPECT_NEAR(small / t, 0.25, 0.03);
+  EXPECT_NEAR(medium / t, 0.35, 0.03);
+  EXPECT_NEAR(large / t, 0.40, 0.03);
+}
+
+TEST(DatasetGen, SizesStayInsideBands) {
+  const auto recipe = mixed_recipe();
+  const auto ds = generate_dataset(recipe, Rng(3));
+  for (const auto& f : ds.files) {
+    EXPECT_GE(f.size, 1u);
+    EXPECT_LE(f.size, 1 * kGB);
+  }
+}
+
+TEST(DatasetGen, DeterministicForSameSeed) {
+  const auto a = generate_dataset(mixed_recipe(), Rng(7));
+  const auto b = generate_dataset(mixed_recipe(), Rng(7));
+  ASSERT_EQ(a.count(), b.count());
+  for (std::size_t i = 0; i < a.count(); ++i) EXPECT_EQ(a.files[i].size, b.files[i].size);
+  const auto c = generate_dataset(mixed_recipe(), Rng(8));
+  EXPECT_NE(a.count(), c.count());  // overwhelmingly likely
+}
+
+TEST(Partition, ClassifiesAgainstBdp) {
+  Dataset ds;
+  const Bytes bdp = 50 * kMB;
+  ds.files = {{3 * kMB},            // Small (< BDP)
+              {49 * kMB},           // Small
+              {51 * kMB},           // Medium (1-20x BDP)
+              {900 * kMB},          // Medium
+              {1001 * kMB},         // Large (> 20x BDP)
+              {10 * kGB}};          // Large
+  const auto chunks = partition_files(ds, bdp);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].cls, SizeClass::kSmall);
+  EXPECT_EQ(chunks[0].file_count(), 2u);
+  EXPECT_EQ(chunks[1].cls, SizeClass::kMedium);
+  EXPECT_EQ(chunks[1].file_count(), 2u);
+  EXPECT_EQ(chunks[2].cls, SizeClass::kLarge);
+  EXPECT_EQ(chunks[2].file_count(), 2u);
+  EXPECT_EQ(chunks[0].total, 52 * kMB);
+}
+
+TEST(Partition, DropsEmptyClasses) {
+  Dataset ds;
+  ds.files = {{10 * kGB}, {5 * kGB}};
+  const auto chunks = partition_files(ds, 50 * kMB);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].cls, SizeClass::kLarge);
+}
+
+TEST(Partition, TinyBdpPutsEverythingInLarge) {
+  // The DIDCLAB LAN case: BDP ~ 25 KB makes every experiment file "Large",
+  // which after merging leaves a single chunk — tuning cannot help, as the
+  // paper observes.
+  Dataset ds;
+  ds.files = {{3 * kMB}, {100 * kMB}, {1 * kGB}};
+  const auto chunks = partition_files(ds, 25 * kKB);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].cls, SizeClass::kLarge);
+  EXPECT_EQ(chunks[0].file_count(), 3u);
+}
+
+TEST(Partition, AvgFileSize) {
+  Chunk c{SizeClass::kSmall, {0, 1}, 10 * kMB};
+  EXPECT_EQ(c.avg_file_size(), 5 * kMB);
+  Chunk empty;
+  EXPECT_EQ(empty.avg_file_size(), 0u);
+}
+
+TEST(MergeChunks, FoldsUndersizedIntoNeighbour) {
+  Chunk small{SizeClass::kSmall, {0}, 1 * kMB};      // 1 file -> too few
+  Chunk medium{SizeClass::kMedium, {1, 2, 3}, 300 * kMB};
+  Chunk large{SizeClass::kLarge, {4, 5}, 10 * kGB};
+  auto merged = merge_chunks({small, medium, large}, 2, 0.02);
+  ASSERT_EQ(merged.size(), 2u);
+  // Small folded into Medium (its following neighbour via i=0 -> dst=1...
+  // the implementation folds into the previous chunk, or the next when first).
+  EXPECT_EQ(merged[0].file_count(), 4u);
+  EXPECT_EQ(merged[0].total, 300 * kMB + 1 * kMB);
+}
+
+TEST(MergeChunks, ByteFractionRule) {
+  // Medium has plenty of files but a negligible byte share -> merged.
+  Chunk small{SizeClass::kSmall, {0, 1, 2}, 5 * kGB};
+  Chunk medium{SizeClass::kMedium, {3, 4, 5}, 10 * kMB};
+  Chunk large{SizeClass::kLarge, {6, 7}, 5 * kGB};
+  auto merged = merge_chunks({small, medium, large}, 2, 0.02);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].cls, SizeClass::kSmall);
+  EXPECT_EQ(merged[0].file_count(), 6u);
+}
+
+TEST(MergeChunks, HealthyChunksUntouched) {
+  Chunk a{SizeClass::kSmall, {0, 1, 2}, 2 * kGB};
+  Chunk b{SizeClass::kLarge, {3, 4, 5}, 3 * kGB};
+  const auto merged = merge_chunks({a, b}, 2, 0.02);
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(MergeChunks, SingleChunkPassesThrough) {
+  Chunk a{SizeClass::kLarge, {0}, 1 * kGB};
+  const auto merged = merge_chunks({a}, 2, 0.02);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].file_count(), 1u);
+}
+
+TEST(MergeChunks, CascadingMergesTerminate) {
+  // Every chunk is undersized: everything collapses into one.
+  Chunk a{SizeClass::kSmall, {0}, 1 * kMB};
+  Chunk b{SizeClass::kMedium, {1}, 1 * kMB};
+  Chunk c{SizeClass::kLarge, {2}, 1 * kMB};
+  const auto merged = merge_chunks({a, b, c}, 2, 0.02);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].file_count(), 3u);
+}
+
+TEST(Dataset, TotalBytesAndCount) {
+  Dataset ds;
+  ds.files = {{1 * kMB}, {2 * kMB}};
+  EXPECT_EQ(ds.total_bytes(), 3 * kMB);
+  EXPECT_EQ(ds.count(), 2u);
+}
+
+
+TEST(Listing, ParsesSizesAndSkipsCommentsAndNames) {
+  std::istringstream in(
+      "# header comment\n"
+      "3MB  /data/a.bin\n"
+      "\n"
+      "512KB /data/b with spaces.dat\n"
+      "1073741824\n");
+  const auto ds = dataset_from_listing(in);
+  ASSERT_TRUE(ds.has_value());
+  ASSERT_EQ(ds->count(), 3u);
+  EXPECT_EQ(ds->files[0].size, 3 * kMB);
+  EXPECT_EQ(ds->files[1].size, 512 * kKB);
+  EXPECT_EQ(ds->files[2].size, 1 * kGB);
+}
+
+TEST(Listing, RejectsMalformedLinesWithLineNumber) {
+  std::istringstream in("1MB ok\nnot-a-size file\n");
+  std::string err;
+  EXPECT_FALSE(dataset_from_listing(in, &err).has_value());
+  EXPECT_NE(err.find("line 2"), std::string::npos);
+
+  std::istringstream zero("0 empty-file\n");
+  EXPECT_FALSE(dataset_from_listing(zero, &err).has_value());
+}
+
+TEST(Listing, EmptyListingIsAnEmptyDataset) {
+  std::istringstream in("# nothing here\n");
+  const auto ds = dataset_from_listing(in);
+  ASSERT_TRUE(ds.has_value());
+  EXPECT_EQ(ds->count(), 0u);
+}
+
+TEST(Listing, LoadedDatasetPartitionsNormally) {
+  std::istringstream in("3MB a\n60MB b\n2GB c\n");
+  const auto ds = dataset_from_listing(in);
+  ASSERT_TRUE(ds.has_value());
+  const auto chunks = partition_files(*ds, 50'000'000ULL);
+  EXPECT_EQ(chunks.size(), 3u);
+}
+
+TEST(SizeClassNames, Strings) {
+  EXPECT_STREQ(to_string(SizeClass::kSmall), "Small");
+  EXPECT_STREQ(to_string(SizeClass::kMedium), "Medium");
+  EXPECT_STREQ(to_string(SizeClass::kLarge), "Large");
+}
+
+}  // namespace
+}  // namespace eadt::proto

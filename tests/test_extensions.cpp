@@ -1,0 +1,170 @@
+// Cross-traffic and integrity-verification extensions of the transfer engine.
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "core/algorithms.hpp"
+#include "net/tcp_model.hpp"
+#include "proto/session.hpp"
+#include "test_env.hpp"
+#include "util/stats.hpp"
+
+namespace eadt::proto {
+namespace {
+
+using testutil::dataset_of;
+using testutil::small_env;
+
+TEST(CrossTraffic, AvailableBandwidthMath) {
+  net::PathSpec p{gbps(10.0), 0.04, 32 * kMB, 1500};
+  EXPECT_DOUBLE_EQ(p.available_bandwidth(), gbps(10.0));
+  p.background_traffic = gbps(4.0);
+  EXPECT_DOUBLE_EQ(p.available_bandwidth(), gbps(6.0));
+  p.background_traffic = gbps(12.0);  // oversubscribed by others
+  EXPECT_DOUBLE_EQ(p.available_bandwidth(), 0.0);
+  // The BDP the tuner reasons about is the *link's*, not the residue's.
+  EXPECT_EQ(p.bdp(), 50'000'000ULL);
+}
+
+TEST(CrossTraffic, ThroughputShrinksWithBackgroundLoad) {
+  auto env = small_env();
+  const auto ds = dataset_of({200 * kMB, 200 * kMB, 200 * kMB, 200 * kMB});
+  proto::TransferSession clear(env, ds, baselines::plan_promc(env, ds, 4));
+  const auto r_clear = clear.run();
+
+  env.path.background_traffic = mbps(600.0);  // 60 % of the 1 Gbps link busy
+  proto::TransferSession busy(env, ds, baselines::plan_promc(env, ds, 4));
+  const auto r_busy = busy.run();
+
+  EXPECT_TRUE(r_busy.completed);
+  EXPECT_LT(r_busy.avg_throughput(), r_clear.avg_throughput());
+  EXPECT_LE(r_busy.avg_throughput(), mbps(400.0) * 1.01);  // residue-capped
+}
+
+TEST(CrossTraffic, FullyLoadedLinkStillTerminatesViaGuard) {
+  auto env = small_env();
+  env.path.background_traffic = env.path.bandwidth;  // nothing left
+  const auto ds = dataset_of({1 * kMB});
+  SessionConfig cfg;
+  cfg.max_sim_time = 50.0;  // don't wait a simulated week
+  proto::TransferSession s(env, ds, baselines::plan_guc(env, ds), cfg);
+  const auto r = s.run();
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.bytes, 0u);
+}
+
+TEST(CrossTraffic, SlaeeCompensatesForBackgroundLoad) {
+  auto env = small_env();
+  env.source.servers[0].disk.max_bandwidth = gbps(4.0);
+  env.destination.servers[0].disk.max_bandwidth = gbps(4.0);
+  proto::Dataset ds;
+  for (int i = 0; i < 60; ++i) ds.files.push_back({25 * kMB});
+  SessionConfig cfg;
+  cfg.sample_interval = 1.0;
+
+  // Without background traffic this target is easy at low concurrency...
+  core::SlaeeController quiet_ctl(mbps(400.0), 8);
+  proto::TransferSession quiet(env, ds, core::plan_slaee(env, ds, 8), cfg);
+  (void)quiet.run(&quiet_ctl);
+
+  // ...with the link half-occupied SLAEE must climb higher to hold it.
+  env.path.background_traffic = mbps(500.0);
+  core::SlaeeController busy_ctl(mbps(400.0), 8);
+  proto::TransferSession busy(env, ds, core::plan_slaee(env, ds, 8), cfg);
+  const auto r = busy.run(&busy_ctl);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GE(busy_ctl.final_level(), quiet_ctl.final_level());
+}
+
+
+TEST(Jitter, ZeroJitterStaysDeterministic) {
+  const auto env = small_env();
+  const auto ds = dataset_of({100 * kMB, 100 * kMB, 100 * kMB});
+  proto::TransferSession a(env, ds, baselines::plan_promc(env, ds, 3));
+  proto::TransferSession b(env, ds, baselines::plan_promc(env, ds, 3));
+  EXPECT_DOUBLE_EQ(a.run().duration, b.run().duration);
+}
+
+TEST(Jitter, SameSeedReproduces) {
+  auto env = small_env();
+  env.rate_jitter_sd = 0.15;
+  env.jitter_seed = 77;
+  const auto ds = dataset_of({100 * kMB, 100 * kMB, 100 * kMB, 100 * kMB});
+  proto::TransferSession a(env, ds, baselines::plan_promc(env, ds, 4));
+  proto::TransferSession b(env, ds, baselines::plan_promc(env, ds, 4));
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_DOUBLE_EQ(ra.duration, rb.duration);
+  EXPECT_DOUBLE_EQ(ra.end_system_energy, rb.end_system_energy);
+}
+
+TEST(Jitter, DifferentSeedsDiverge) {
+  auto env = small_env();
+  env.rate_jitter_sd = 0.15;
+  const auto ds = dataset_of({100 * kMB, 100 * kMB, 100 * kMB, 100 * kMB});
+  env.jitter_seed = 1;
+  proto::TransferSession a(env, ds, baselines::plan_promc(env, ds, 4));
+  const auto ra = a.run();
+  env.jitter_seed = 2;
+  proto::TransferSession b(env, ds, baselines::plan_promc(env, ds, 4));
+  const auto rb = b.run();
+  EXPECT_NE(ra.duration, rb.duration);
+}
+
+TEST(Jitter, MeanBehaviourTracksTheDeterministicRun) {
+  auto env = small_env();
+  const auto ds = testutil::mixed_dataset();
+  proto::TransferSession clean(env, ds, baselines::plan_promc(env, ds, 4));
+  const auto r0 = clean.run();
+
+  env.rate_jitter_sd = 0.10;
+  RunningStats durations;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    env.jitter_seed = seed;
+    proto::TransferSession s(env, ds, baselines::plan_promc(env, ds, 4));
+    const auto r = s.run();
+    ASSERT_TRUE(r.completed);
+    ASSERT_EQ(r.bytes, ds.total_bytes());
+    durations.add(r.duration);
+  }
+  // Noise is roughly zero-mean; jittered runs are a touch slower on average
+  // (the 0.1 floor is asymmetric), never wildly off.
+  EXPECT_NEAR(durations.mean() / r0.duration, 1.0, 0.15);
+}
+
+TEST(Checksum, VerificationSlowsAndCostsEnergy) {
+  const auto env = small_env();
+  proto::Dataset ds;
+  for (int i = 0; i < 40; ++i) ds.files.push_back({20 * kMB});
+
+  auto plain = baselines::plan_promc(env, ds, 4);
+  auto verified = plain;
+  verified.checksum_rate = mbps(800.0);  // hash pass roughly at line rate
+
+  proto::TransferSession s1(env, ds, plain);
+  proto::TransferSession s2(env, ds, verified);
+  const auto r1 = s1.run();
+  const auto r2 = s2.run();
+  EXPECT_TRUE(r2.completed);
+  // "...causes significant slowdowns in average transfer throughput."
+  EXPECT_LT(r2.avg_throughput(), r1.avg_throughput() * 0.8);
+  EXPECT_GT(r2.end_system_energy, r1.end_system_energy);
+}
+
+TEST(Checksum, GoPlanTogglesIt) {
+  const auto env = small_env();
+  const auto ds = dataset_of({10 * kMB, 300 * kMB});
+  EXPECT_DOUBLE_EQ(baselines::plan_go(env, ds).checksum_rate, 0.0);
+  EXPECT_GT(baselines::plan_go(env, ds, /*verify_checksums=*/true).checksum_rate, 0.0);
+}
+
+TEST(Checksum, ZeroRateMeansDisabled) {
+  const auto env = small_env();
+  const auto ds = dataset_of({50 * kMB});
+  auto plan = baselines::plan_guc(env, ds);
+  plan.checksum_rate = 0.0;
+  proto::TransferSession s(env, ds, plan);
+  EXPECT_TRUE(s.run().completed);
+}
+
+}  // namespace
+}  // namespace eadt::proto

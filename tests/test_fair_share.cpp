@@ -1,0 +1,91 @@
+#include "net/fair_share.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace eadt::net {
+namespace {
+
+TEST(FairShare, EqualWeightsSplitEvenly) {
+  std::vector<Demand> d(4, Demand{gbps(10.0), 1.0});
+  const auto r = fair_share(gbps(8.0), d);
+  for (double a : r.allocation) EXPECT_NEAR(a, gbps(2.0), 1.0);
+  EXPECT_NEAR(r.total, gbps(8.0), 1.0);
+}
+
+TEST(FairShare, WeightsAreProportional) {
+  std::vector<Demand> d{{gbps(10.0), 1.0}, {gbps(10.0), 3.0}};
+  const auto r = fair_share(gbps(8.0), d);
+  EXPECT_NEAR(r.allocation[0], gbps(2.0), 1.0);
+  EXPECT_NEAR(r.allocation[1], gbps(6.0), 1.0);
+}
+
+TEST(FairShare, CapsAreRespectedAndRedistributed) {
+  // Channel 0 can only take 1 Gbps; the leftover goes to the others.
+  std::vector<Demand> d{{gbps(1.0), 1.0}, {gbps(10.0), 1.0}, {gbps(10.0), 1.0}};
+  const auto r = fair_share(gbps(9.0), d);
+  EXPECT_NEAR(r.allocation[0], gbps(1.0), 1.0);
+  EXPECT_NEAR(r.allocation[1], gbps(4.0), 1.0);
+  EXPECT_NEAR(r.allocation[2], gbps(4.0), 1.0);
+}
+
+TEST(FairShare, WorkConservingUnderCapacity) {
+  std::vector<Demand> d{{gbps(1.0), 1.0}, {gbps(2.0), 1.0}};
+  const auto r = fair_share(gbps(10.0), d);
+  EXPECT_NEAR(r.allocation[0], gbps(1.0), 1.0);
+  EXPECT_NEAR(r.allocation[1], gbps(2.0), 1.0);
+  EXPECT_NEAR(r.total, gbps(3.0), 1.0);
+}
+
+TEST(FairShare, EmptyAndDegenerateInputs) {
+  EXPECT_TRUE(fair_share(gbps(1.0), {}).allocation.empty());
+  std::vector<Demand> d{{gbps(1.0), 1.0}};
+  EXPECT_DOUBLE_EQ(fair_share(0.0, d).total, 0.0);
+  std::vector<Demand> zero_cap{{0.0, 1.0}, {gbps(2.0), 1.0}};
+  const auto r = fair_share(gbps(1.0), zero_cap);
+  EXPECT_DOUBLE_EQ(r.allocation[0], 0.0);
+  EXPECT_NEAR(r.allocation[1], gbps(1.0), 1.0);
+}
+
+TEST(FairShare, ZeroWeightGetsNothing) {
+  std::vector<Demand> d{{gbps(5.0), 0.0}, {gbps(5.0), 1.0}};
+  const auto r = fair_share(gbps(4.0), d);
+  EXPECT_DOUBLE_EQ(r.allocation[0], 0.0);
+  EXPECT_NEAR(r.allocation[1], gbps(4.0), 1.0);
+}
+
+// Property sweep: invariants hold for random demand sets.
+class FairShareProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairShareProperty, Invariants) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = static_cast<int>(rng.uniform_int(1, 24));
+  std::vector<Demand> d;
+  for (int i = 0; i < n; ++i) {
+    d.push_back({rng.uniform(0.0, 5e9), rng.uniform(0.5, 4.0)});
+  }
+  const double capacity = rng.uniform(1e8, 2e10);
+  const auto r = fair_share(capacity, d);
+
+  ASSERT_EQ(r.allocation.size(), d.size());
+  double sum = 0.0, cap_sum = 0.0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_GE(r.allocation[i], -1e-6);
+    EXPECT_LE(r.allocation[i], d[i].cap + 1e-3);
+    sum += r.allocation[i];
+    cap_sum += d[i].cap;
+  }
+  EXPECT_LE(sum, capacity + 1e-3);
+  // Work conservation: total equals min(capacity, sum of caps).
+  EXPECT_NEAR(sum, std::min(capacity, cap_sum), std::max(1.0, sum * 1e-9));
+  EXPECT_NEAR(sum, r.total, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDemands, FairShareProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace eadt::net

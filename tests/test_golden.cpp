@@ -1,0 +1,123 @@
+// Golden regression pins: the full-scale Figure 2 headline numbers, frozen
+// after calibration. These are deliberately tighter than the qualitative
+// integration tests — their job is to catch *accidental* drift in the model
+// (a changed knob, a refactor that shifts rates), not to assert the paper.
+// If you change the model on purpose, re-run bench/fig2_xsede and update the
+// constants together with EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+
+namespace eadt::exp {
+namespace {
+
+struct Golden {
+  Algorithm algorithm;
+  int concurrency;
+  double mbps;
+  double joule;
+};
+
+// bench/fig2_xsede at paper scale (160 GB), recorded 2026-07-06.
+constexpr Golden kFigure2[] = {
+    {Algorithm::kGuc, 1, 761, 56188},
+    {Algorithm::kGo, 2, 2337, 37436},
+    {Algorithm::kSc, 2, 2579, 23277},
+    {Algorithm::kSc, 12, 7972, 30283},
+    {Algorithm::kMinE, 4, 4819, 21601},
+    {Algorithm::kMinE, 12, 4819, 21601},
+    {Algorithm::kProMc, 1, 1309, 35059},
+    {Algorithm::kProMc, 4, 4921, 20310},
+    {Algorithm::kProMc, 12, 7967, 31116},
+};
+
+class GoldenFigure2 : public ::testing::TestWithParam<Golden> {
+ protected:
+  static void SetUpTestSuite() {
+    testbed_ = new testbeds::Testbed(testbeds::xsede());
+    dataset_ = new proto::Dataset(testbed_->make_dataset());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete testbed_;
+    dataset_ = nullptr;
+    testbed_ = nullptr;
+  }
+  static testbeds::Testbed* testbed_;
+  static proto::Dataset* dataset_;
+};
+testbeds::Testbed* GoldenFigure2::testbed_ = nullptr;
+proto::Dataset* GoldenFigure2::dataset_ = nullptr;
+
+TEST_P(GoldenFigure2, MatchesRecordedRun) {
+  const Golden g = GetParam();
+  const auto out = run_algorithm(g.algorithm, *testbed_, *dataset_, g.concurrency);
+  // The engine is deterministic, so 2 % headroom is pure future-proofing
+  // against innocuous refactors (tick boundary shifts etc.).
+  EXPECT_NEAR(out.throughput_mbps(), g.mbps, g.mbps * 0.02)
+      << to_string(g.algorithm) << " cc=" << g.concurrency;
+  EXPECT_NEAR(out.energy(), g.joule, g.joule * 0.02)
+      << to_string(g.algorithm) << " cc=" << g.concurrency;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperScaleXsede, GoldenFigure2, ::testing::ValuesIn(kFigure2),
+                         [](const ::testing::TestParamInfo<Golden>& info) {
+                           return std::string(to_string(info.param.algorithm)) + "Cc" +
+                                  std::to_string(info.param.concurrency);
+                         });
+
+
+// The same pins for the 1 Gbps testbeds (bench/fig3_futuregrid,
+// bench/fig4_didclab at paper scale, recorded 2026-07-06).
+constexpr Golden kFigure3[] = {
+    {Algorithm::kGuc, 1, 614, 24962},
+    {Algorithm::kGo, 2, 842, 24168},
+    {Algorithm::kMinE, 4, 872, 21600},
+    {Algorithm::kProMc, 4, 933, 21099},
+};
+
+constexpr Golden kFigure4[] = {
+    {Algorithm::kProMc, 1, 764, 27090},
+    {Algorithm::kProMc, 4, 526, 32096},
+    {Algorithm::kMinE, 4, 764, 27090},
+    {Algorithm::kGo, 2, 705, 25221},
+};
+
+class GoldenFigure3 : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenFigure3, MatchesRecordedRun) {
+  static const testbeds::Testbed testbed = testbeds::futuregrid();
+  static const proto::Dataset dataset = testbed.make_dataset();
+  const Golden g = GetParam();
+  const auto out = run_algorithm(g.algorithm, testbed, dataset, g.concurrency);
+  EXPECT_NEAR(out.throughput_mbps(), g.mbps, g.mbps * 0.02);
+  EXPECT_NEAR(out.energy(), g.joule, g.joule * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperScaleFuturegrid, GoldenFigure3,
+                         ::testing::ValuesIn(kFigure3),
+                         [](const ::testing::TestParamInfo<Golden>& info) {
+                           return std::string(to_string(info.param.algorithm)) + "Cc" +
+                                  std::to_string(info.param.concurrency);
+                         });
+
+class GoldenFigure4 : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenFigure4, MatchesRecordedRun) {
+  static const testbeds::Testbed testbed = testbeds::didclab();
+  static const proto::Dataset dataset = testbed.make_dataset();
+  const Golden g = GetParam();
+  const auto out = run_algorithm(g.algorithm, testbed, dataset, g.concurrency);
+  EXPECT_NEAR(out.throughput_mbps(), g.mbps, g.mbps * 0.02);
+  EXPECT_NEAR(out.energy(), g.joule, g.joule * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperScaleDidclab, GoldenFigure4,
+                         ::testing::ValuesIn(kFigure4),
+                         [](const ::testing::TestParamInfo<Golden>& info) {
+                           return std::string(to_string(info.param.algorithm)) + "Cc" +
+                                  std::to_string(info.param.concurrency);
+                         });
+
+}  // namespace
+}  // namespace eadt::exp

@@ -1,0 +1,146 @@
+#include "host/server.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eadt::host {
+namespace {
+
+ServerSpec dtn() {
+  ServerSpec s;
+  s.name = "dtn";
+  s.cores = 4;
+  s.nic_speed = gbps(10.0);
+  s.mem_total = 64ULL * 1024 * 1024 * 1024;
+  s.disk = {DiskKind::kParallelArray, gbps(12.0), 6.0, 0.0};
+  s.per_core_goodput = gbps(2.2);
+  return s;
+}
+
+ServerSpec workstation() {
+  ServerSpec s = dtn();
+  s.disk = {DiskKind::kSingleDisk, mbps(780.0), 0.0, 0.12};
+  return s;
+}
+
+TEST(DiskModel, ParallelArrayGrowsWithConcurrency) {
+  const auto d = dtn().disk;
+  const auto b1 = disk_aggregate_bandwidth(d, 1);
+  const auto b4 = disk_aggregate_bandwidth(d, 4);
+  const auto b12 = disk_aggregate_bandwidth(d, 12);
+  EXPECT_LT(b1, b4);
+  EXPECT_LT(b4, b12);
+  EXPECT_LT(b12, d.max_bandwidth);  // asymptotic, never exceeds
+  EXPECT_NEAR(to_gbps(b12), 8.0, 0.01);  // 12 * 12/(12+6)
+}
+
+TEST(DiskModel, SingleDiskThrashesWithConcurrency) {
+  const auto d = workstation().disk;
+  const auto b1 = disk_aggregate_bandwidth(d, 1);
+  const auto b4 = disk_aggregate_bandwidth(d, 4);
+  const auto b12 = disk_aggregate_bandwidth(d, 12);
+  EXPECT_DOUBLE_EQ(b1, d.max_bandwidth);
+  EXPECT_GT(b1, b4);
+  EXPECT_GT(b4, b12);
+  // 12 concurrent readers cut a spindle to less than half.
+  EXPECT_LT(b12, b1 * 0.5);
+}
+
+TEST(DiskModel, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(disk_aggregate_bandwidth(dtn().disk, 0), 0.0);
+  DiskSpec none{DiskKind::kParallelArray, 0.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(disk_aggregate_bandwidth(none, 3), 0.0);
+}
+
+TEST(ContextSwitch, NoPenaltyWithinCoreCount) {
+  const auto s = dtn();
+  EXPECT_DOUBLE_EQ(context_switch_factor(s, 1), 1.0);
+  EXPECT_DOUBLE_EQ(context_switch_factor(s, 4), 1.0);
+}
+
+TEST(ContextSwitch, PenaltyGrowsPastCores) {
+  const auto s = dtn();
+  const double f8 = context_switch_factor(s, 8);
+  const double f24 = context_switch_factor(s, 24);
+  EXPECT_GT(f8, 1.0);
+  EXPECT_GT(f24, f8);
+}
+
+TEST(CpuCap, SingleChannelUsesItsStreams) {
+  const auto s = dtn();
+  // One channel, 2 streams, nothing else: 2 cores' worth of goodput.
+  const auto cap = channel_cpu_cap(s, 1, 2, 2);
+  EXPECT_NEAR(to_gbps(cap), 4.4, 0.01);
+}
+
+TEST(CpuCap, SharedCoresDiluteEachChannel) {
+  const auto s = dtn();
+  const auto alone = channel_cpu_cap(s, 1, 1, 1);
+  const auto crowded = channel_cpu_cap(s, 12, 12, 1);
+  EXPECT_NEAR(to_gbps(alone), 2.2, 0.01);
+  EXPECT_LT(crowded, alone);
+  // 12 single-stream channels on 4 cores: about a third of a core each,
+  // shaved further by the context-switch factor.
+  EXPECT_NEAR(to_gbps(crowded), 2.2 / 3.0 / context_switch_factor(s, 12), 0.02);
+}
+
+TEST(CpuCap, AggregateIsBoundedByCorePool) {
+  const auto s = dtn();
+  // N channels of p streams can never exceed cores * per_core in aggregate.
+  for (int n : {2, 4, 8, 16}) {
+    const auto per = channel_cpu_cap(s, n, 2 * n, 2);
+    EXPECT_LE(per * n, s.per_core_goodput * s.cores * 1.001);
+  }
+}
+
+TEST(CpuCap, ZeroProcessesIsZero) {
+  EXPECT_DOUBLE_EQ(channel_cpu_cap(dtn(), 0, 0, 1), 0.0);
+}
+
+TEST(ActiveCores, ClampedToCoreCount) {
+  const auto s = dtn();
+  EXPECT_EQ(active_cores(s, {0, 0, 0.0, 0.0, 0}), 0);
+  EXPECT_EQ(active_cores(s, {1, 1, 0.0, 0.0, 0}), 1);
+  EXPECT_EQ(active_cores(s, {3, 6, 0.0, 0.0, 0}), 4);   // threads dominate
+  EXPECT_EQ(active_cores(s, {12, 24, 0.0, 0.0, 0}), 4); // clamped
+}
+
+TEST(Utilization, ZeroLoadIsZero) {
+  const auto u = utilization(dtn(), {0, 0, 0.0, 0.0, 0});
+  EXPECT_DOUBLE_EQ(u.cpu, 0.0);
+  EXPECT_DOUBLE_EQ(u.mem, 0.0);
+  EXPECT_DOUBLE_EQ(u.disk, 0.0);
+  EXPECT_DOUBLE_EQ(u.nic, 0.0);
+}
+
+TEST(Utilization, ComponentsScaleWithLoad) {
+  const auto s = dtn();
+  HostLoad light{1, 1, gbps(1.0), gbps(1.0), 32 * kMB};
+  HostLoad heavy{8, 16, gbps(7.0), gbps(7.0), 16ULL * 32 * kMB};
+  const auto ul = utilization(s, light);
+  const auto uh = utilization(s, heavy);
+  EXPECT_LT(ul.cpu, uh.cpu);
+  EXPECT_LT(ul.nic, uh.nic);
+  EXPECT_LT(ul.disk, uh.disk);
+  EXPECT_LT(ul.mem, uh.mem);
+  EXPECT_NEAR(uh.nic, 0.7, 1e-9);
+}
+
+TEST(Utilization, AlwaysClampedToUnitInterval) {
+  const auto s = dtn();
+  HostLoad absurd{100, 400, gbps(100.0), gbps(100.0), 1ULL << 40};
+  const auto u = utilization(s, absurd);
+  EXPECT_LE(u.cpu, 1.0);
+  EXPECT_LE(u.mem, 1.0);
+  EXPECT_LE(u.disk, 1.0);
+  EXPECT_LE(u.nic, 1.0);
+}
+
+TEST(Utilization, OversubscribedThreadsAddCpu) {
+  const auto s = dtn();
+  HostLoad within{4, 4, gbps(2.0), gbps(2.0), 0};
+  HostLoad over{4, 16, gbps(2.0), gbps(2.0), 0};
+  EXPECT_GT(utilization(s, over).cpu, utilization(s, within).cpu);
+}
+
+}  // namespace
+}  // namespace eadt::host

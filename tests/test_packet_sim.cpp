@@ -1,0 +1,117 @@
+// Validation of the fluid model's TCP assumptions against the round-based
+// packet simulator.
+#include "net/packet_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eadt::net {
+namespace {
+
+PathSpec wan_path() { return {gbps(10.0), 0.040, 32 * kMB, 1500}; }
+
+TEST(PacketSim, DegenerateInputs) {
+  PacketSimConfig c;
+  EXPECT_EQ(simulate_tcp_rounds(c, 100).flows.size(), 0u);  // zero-capacity path
+  c.path = wan_path();
+  EXPECT_EQ(simulate_tcp_rounds(c, 0).rounds, 0);
+  c.flows = 0;
+  EXPECT_EQ(simulate_tcp_rounds(c, 10).flows.size(), 0u);
+}
+
+TEST(PacketSim, SingleFlowIsWindowLimitedOnFatPipe) {
+  // 32 MiB window over 40 ms cannot fill 10 Gbps: the round model must agree
+  // with the fluid cap buffer/RTT to within a few percent.
+  const auto path = wan_path();
+  const auto fluid = stream_window_cap(path);
+  const auto packet = packet_sim_steady_goodput(path, 1);
+  EXPECT_NEAR(packet / fluid, 1.0, 0.08);
+}
+
+TEST(PacketSim, TwoFlowsFillTheWindowLimitedPipe) {
+  // Two window-limited flows: aggregate ~ min(2 * window cap, link).
+  const auto path = wan_path();
+  const auto expected = std::min(2.0 * stream_window_cap(path), path.bandwidth);
+  const auto packet = packet_sim_steady_goodput(path, 2);
+  EXPECT_NEAR(packet / expected, 1.0, 0.12);
+}
+
+TEST(PacketSim, ManyFlowsSaturateTheLink) {
+  // With plenty of flows the bottleneck, not the windows, binds; the round
+  // model's loss synchronisation costs some utilisation, so expect >= 70 %.
+  const auto path = wan_path();
+  const auto packet = packet_sim_steady_goodput(path, 8);
+  EXPECT_GT(packet, path.bandwidth * 0.70);
+  EXPECT_LE(packet, path.bandwidth * 1.001);
+}
+
+TEST(PacketSim, CongestedFlowsShareFairly) {
+  // Small windows removed: flows share a 1 Gbps pipe roughly equally.
+  PathSpec path{gbps(1.0), 0.020, 64 * kMB, 1500};
+  PacketSimConfig c;
+  c.path = path;
+  c.flows = 4;
+  const auto r = simulate_tcp_rounds(c, 600);
+  ASSERT_EQ(r.flows.size(), 4u);
+  double min_flow = 1e18, max_flow = 0.0;
+  for (const auto& f : r.flows) {
+    min_flow = std::min(min_flow, f.goodput);
+    max_flow = std::max(max_flow, f.goodput);
+  }
+  // Synchronised rounds make sharing nearly exact.
+  EXPECT_GT(min_flow / max_flow, 0.9);
+}
+
+TEST(PacketSim, LossesOnlyWhenPipeOverflows) {
+  // A single window-limited flow never overflows BDP + queue: zero losses.
+  PacketSimConfig c;
+  c.path = wan_path();
+  const auto r = simulate_tcp_rounds(c, 400);
+  EXPECT_DOUBLE_EQ(r.flows[0].losses, 0.0);
+
+  // Sixteen unbounded flows on a small pipe must lose and back off.
+  PacketSimConfig crowded;
+  crowded.path = {mbps(100.0), 0.020, 64 * kMB, 1500};
+  crowded.flows = 16;
+  const auto rc = simulate_tcp_rounds(crowded, 400);
+  double losses = 0.0;
+  for (const auto& f : rc.flows) losses += f.losses;
+  EXPECT_GT(losses, 0.0);
+}
+
+TEST(PacketSim, RampTimeMatchesSlowStartModel) {
+  // The fluid model charges a cold file log2(target/IW) RTTs of ramp; the
+  // round model's measured ramp should be in the same ballpark (within a
+  // factor of two — round quantisation and the 10-segment IW differ from the
+  // fluid model's 64 KB).
+  const auto path = wan_path();
+  PacketSimConfig c;
+  c.path = path;
+  const auto r = simulate_tcp_rounds(c, 400);
+  const Seconds fluid_ramp = slow_start_penalty(path, 1 * kGB, 0.0);
+  const Seconds packet_ramp = r.ramp_time(path);
+  EXPECT_GT(packet_ramp, fluid_ramp * 0.4);
+  EXPECT_LT(packet_ramp, fluid_ramp * 2.5);
+}
+
+TEST(PacketSim, LanRampIsNegligible) {
+  PathSpec lan{gbps(1.0), 0.0002, 32 * kMB, 1500};
+  PacketSimConfig c;
+  c.path = lan;
+  const auto r = simulate_tcp_rounds(c, 2000);
+  EXPECT_LT(r.ramp_time(lan), 0.02);
+  EXPECT_NEAR(packet_sim_steady_goodput(lan, 1) / gbps(1.0), 1.0, 0.05);
+}
+
+TEST(PacketSim, DeterministicAcrossRuns) {
+  PacketSimConfig c;
+  c.path = wan_path();
+  c.flows = 3;
+  const auto a = simulate_tcp_rounds(c, 300);
+  const auto b = simulate_tcp_rounds(c, 300);
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flows[i].segments_delivered, b.flows[i].segments_delivered);
+  }
+}
+
+}  // namespace
+}  // namespace eadt::net

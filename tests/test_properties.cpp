@@ -1,0 +1,179 @@
+// Cross-cutting invariants, swept over (testbed x algorithm x concurrency)
+// with parameterized gtest. These are the contracts every schedule must
+// satisfy regardless of tuning: byte conservation, energy accounting,
+// physical bounds, determinism, and graceful behaviour under preemption.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "exp/runner.hpp"
+
+namespace eadt::exp {
+namespace {
+
+testbeds::Testbed tiny(testbeds::Testbed t) {
+  // Small datasets keep the sweep fast; band maxima scale along.
+  const unsigned div = 64;
+  t.recipe.total_bytes /= div;
+  for (auto& band : t.recipe.bands) {
+    band.max_size = std::max(band.max_size / div, band.min_size * 2);
+  }
+  return t;
+}
+
+testbeds::Testbed testbed_by_index(int i) {
+  switch (i) {
+    case 0: return tiny(testbeds::xsede());
+    case 1: return tiny(testbeds::futuregrid());
+    default: return tiny(testbeds::didclab());
+  }
+}
+
+class RunInvariants
+    : public ::testing::TestWithParam<std::tuple<int, Algorithm, int>> {};
+
+TEST_P(RunInvariants, HoldEverywhere) {
+  const auto [tb_index, algorithm, concurrency] = GetParam();
+  const auto testbed = testbed_by_index(tb_index);
+  const auto dataset = testbed.make_dataset();
+  proto::SessionConfig cfg;
+  cfg.sample_interval = 1.0;
+
+  const auto out = run_algorithm(algorithm, testbed, dataset, concurrency, cfg);
+  const auto& r = out.result;
+
+  // 1. Completion and byte conservation.
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.bytes, dataset.total_bytes());
+
+  // 2. Physical bounds.
+  EXPECT_GT(r.duration, 0.0);
+  EXPECT_LE(r.avg_throughput(), testbed.env.path.bandwidth * 1.001);
+  EXPECT_GT(r.end_system_energy, 0.0);
+  EXPECT_GT(r.network_energy, 0.0);
+
+  // 3. Per-server energy sums to the total; active times within duration.
+  Joules sum = 0.0;
+  for (const auto& side : {r.source_servers, r.destination_servers}) {
+    for (const auto& s : side) {
+      EXPECT_GE(s.joules, 0.0);
+      EXPECT_GE(s.active_time, 0.0);
+      EXPECT_LE(s.active_time, r.duration + cfg.tick + 1e-6);
+      sum += s.joules;
+    }
+  }
+  EXPECT_NEAR(sum, r.end_system_energy, r.end_system_energy * 1e-9);
+
+  // 4. Samples tile the run: bytes and energy add up, windows are ordered.
+  Bytes sample_bytes = 0;
+  Joules sample_energy = 0.0;
+  Seconds prev_end = 0.0;
+  for (const auto& s : r.samples) {
+    EXPECT_NEAR(s.window_start, prev_end, 1e-6);
+    EXPECT_GE(s.window_end, s.window_start);
+    EXPECT_GE(s.active_channels, 0);
+    sample_bytes += s.bytes;
+    sample_energy += s.end_system_energy;
+    prev_end = s.window_end;
+  }
+  EXPECT_EQ(sample_bytes, r.bytes);
+  EXPECT_NEAR(sample_energy, r.end_system_energy, r.end_system_energy * 1e-9);
+
+  // 5. Determinism: the identical run reproduces bit-identical results.
+  const auto again = run_algorithm(algorithm, testbed, dataset, concurrency, cfg);
+  EXPECT_DOUBLE_EQ(again.result.duration, r.duration);
+  EXPECT_DOUBLE_EQ(again.result.end_system_energy, r.end_system_energy);
+  EXPECT_EQ(again.result.bytes, r.bytes);
+  EXPECT_EQ(again.chosen_concurrency, out.chosen_concurrency);
+}
+
+std::string invariant_case_name(
+    const ::testing::TestParamInfo<std::tuple<int, Algorithm, int>>& info) {
+  static constexpr const char* kTb[] = {"Xsede", "Futuregrid", "Didclab"};
+  return std::string(kTb[std::get<0>(info.param)]) +
+         to_string(std::get<1>(info.param)) + "Cc" +
+         std::to_string(std::get<2>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RunInvariants,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(Algorithm::kGuc, Algorithm::kGo,
+                                         Algorithm::kSc, Algorithm::kMinE,
+                                         Algorithm::kProMc, Algorithm::kHtee),
+                       ::testing::Values(1, 5, 12)),
+    invariant_case_name);
+
+// A hostile controller that yanks concurrency around every window; bytes
+// must still be conserved through all the preemption/requeue churn.
+class Thrasher final : public proto::Controller {
+ public:
+  void on_sample(proto::TransferSession& session, const proto::SampleStats&) override {
+    ++calls_;
+    session.set_total_concurrency(calls_ % 2 == 0 ? 1 : 12);
+  }
+
+ private:
+  int calls_ = 0;
+};
+
+class PreemptionChurn : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreemptionChurn, ConservesBytes) {
+  const auto testbed = testbed_by_index(GetParam());
+  const auto dataset = testbed.make_dataset();
+  proto::SessionConfig cfg;
+  cfg.sample_interval = 0.5;  // thrash hard
+  Thrasher thrasher;
+  proto::TransferSession session(
+      testbed.env, dataset,
+      baselines::plan_promc(testbed.env, dataset, 12), cfg);
+  const auto r = session.run(&thrasher);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.bytes, dataset.total_bytes());
+  EXPECT_LE(r.avg_throughput(), testbed.env.path.bandwidth * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTestbeds, PreemptionChurn, ::testing::Values(0, 1, 2));
+
+// Dataset-mix robustness: whatever the size distribution, the tuned
+// algorithms complete and respect the link on the XSEDE path.
+class MixRobustness : public ::testing::TestWithParam<int> {};
+
+TEST_P(MixRobustness, TunedAlgorithmsHandleAnyMix) {
+  auto testbed = tiny(testbeds::xsede());
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  // Random recipe: 1-3 bands with random bounds and shares.
+  proto::DatasetRecipe recipe;
+  recipe.name = "fuzz";
+  recipe.total_bytes = 1 * kGB + rng.uniform_int(0, 2 * kGB);
+  const int n_bands = static_cast<int>(rng.uniform_int(1, 3));
+  std::vector<double> shares;
+  double sum = 0.0;
+  for (int b = 0; b < n_bands; ++b) {
+    shares.push_back(rng.uniform(0.1, 1.0));
+    sum += shares.back();
+  }
+  for (int b = 0; b < n_bands; ++b) {
+    const Bytes lo = 1 * kMB + rng.uniform_int(0, 30 * kMB);
+    const Bytes hi = lo * 2 + rng.uniform_int(0, 300 * kMB);
+    recipe.bands.push_back({lo, hi, shares[static_cast<std::size_t>(b)] / sum});
+  }
+  testbed.recipe = recipe;
+  const auto dataset = testbed.make_dataset();
+  ASSERT_GT(dataset.count(), 0u);
+
+  for (const auto a : {Algorithm::kMinE, Algorithm::kProMc, Algorithm::kHtee}) {
+    proto::SessionConfig cfg;
+    cfg.sample_interval = 1.0;
+    const auto out = run_algorithm(a, testbed, dataset, 8, cfg);
+    EXPECT_TRUE(out.result.completed) << to_string(a) << " seed " << GetParam();
+    EXPECT_EQ(out.result.bytes, dataset.total_bytes()) << to_string(a);
+    EXPECT_LE(out.result.avg_throughput(), testbed.env.path.bandwidth * 1.001);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FuzzedRecipes, MixRobustness, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace eadt::exp

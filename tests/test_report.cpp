@@ -1,0 +1,109 @@
+#include "exp/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace eadt::exp {
+namespace {
+
+proto::RunResult fake_result() {
+  proto::RunResult r;
+  r.duration = 10.0;
+  r.bytes = 1'000'000'000;  // 800 Mbps over 10 s
+  r.end_system_energy = 500.0;
+  r.network_energy = 12.0;
+  r.completed = true;
+  proto::SampleStats s1;
+  s1.window_start = 0.0;
+  s1.window_end = 5.0;
+  s1.bytes = 600'000'000;
+  s1.end_system_energy = 300.0;
+  s1.active_channels = 4;
+  proto::SampleStats s2 = s1;
+  s2.window_start = 5.0;
+  s2.window_end = 10.0;
+  s2.bytes = 400'000'000;
+  s2.end_system_energy = 200.0;
+  s2.active_channels = 2;
+  r.samples = {s1, s2};
+  return r;
+}
+
+SweepTable fake_sweep() {
+  SweepTable sweep;
+  sweep.levels = {1, 2};
+  for (const auto alg : {Algorithm::kMinE, Algorithm::kProMc}) {
+    for (const int level : sweep.levels) {
+      RunOutcome out;
+      out.algorithm = alg;
+      out.concurrency = level;
+      out.result.duration = 10.0;
+      out.result.bytes = static_cast<Bytes>(1e9) * static_cast<Bytes>(level);
+      out.result.end_system_energy = 100.0 * level;
+      sweep.outcomes[alg][level] = out;
+    }
+  }
+  return sweep;
+}
+
+TEST(Report, SamplesCsvShape) {
+  std::ostringstream os;
+  write_samples_csv(os, fake_result());
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("t_start_s,t_end_s,throughput_mbps,energy_j,active_channels"),
+            std::string::npos);
+  // 600 MB over 5 s = 960 Mbps.
+  EXPECT_NE(csv.find("0.00,5.00,960.0,300.00,4"), std::string::npos);
+  EXPECT_NE(csv.find("5.00,10.00,640.0,200.00,2"), std::string::npos);
+  // Header + 2 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(Report, SweepCsvShape) {
+  std::ostringstream os;
+  write_sweep_csv(os, fake_sweep());
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("concurrency,MinE_mbps,MinE_joule,MinE_ratio,ProMC_mbps"),
+            std::string::npos);
+  // Level 1: 1e9 bytes / 10 s = 800 Mbps, 100 J.
+  EXPECT_NE(csv.find("1,800.0,100.0"), std::string::npos);
+  EXPECT_NE(csv.find("2,1600.0,200.0"), std::string::npos);
+}
+
+TEST(Report, SweepCsvHandlesMissingCells) {
+  auto sweep = fake_sweep();
+  sweep.levels.push_back(4);  // no outcome recorded at level 4
+  std::ostringstream os;
+  write_sweep_csv(os, sweep);
+  EXPECT_NE(os.str().find("4,,,,,,"), std::string::npos);
+}
+
+TEST(Report, GnuplotScriptReferencesAllSeries) {
+  std::ostringstream os;
+  write_sweep_gnuplot(os, fake_sweep(), "sweep.csv", "fig2");
+  const std::string script = os.str();
+  EXPECT_NE(script.find("set output 'fig2_a.png'"), std::string::npos);
+  EXPECT_NE(script.find("set output 'fig2_b.png'"), std::string::npos);
+  EXPECT_NE(script.find("set output 'fig2_c.png'"), std::string::npos);
+  EXPECT_NE(script.find("title 'MinE'"), std::string::npos);
+  EXPECT_NE(script.find("title 'ProMC'"), std::string::npos);
+  // Panel (a) plots column 2 (first algorithm's Mbps), panel (b) column 3.
+  EXPECT_NE(script.find("using 1:2"), std::string::npos);
+  EXPECT_NE(script.find("using 1:3"), std::string::npos);
+  EXPECT_NE(script.find("'sweep.csv'"), std::string::npos);
+}
+
+TEST(Report, SummarizeReadsWell) {
+  const std::string s = summarize(fake_result());
+  EXPECT_NE(s.find("Mbps"), std::string::npos);
+  EXPECT_NE(s.find("kJ end-system"), std::string::npos);
+  EXPECT_EQ(s.find("INCOMPLETE"), std::string::npos);
+
+  auto r = fake_result();
+  r.completed = false;
+  EXPECT_NE(summarize(r).find("INCOMPLETE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eadt::exp

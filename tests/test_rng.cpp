@@ -1,0 +1,95 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/stats.hpp"
+
+namespace eadt {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng parent(7);
+  Rng c1 = parent.fork("workload");
+  Rng c2 = parent.fork("workload");
+  Rng c3 = parent.fork("noise");
+  EXPECT_EQ(c1.next_u64(), c2.next_u64());
+  Rng c4 = parent.fork("workload");
+  EXPECT_NE(c3.next_u64(), c4.next_u64());
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng r(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng r(5);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.uniform(10.0, 20.0));
+  EXPECT_NEAR(s.mean(), 15.0, 0.1);
+  EXPECT_GE(s.min(), 10.0);
+  EXPECT_LT(s.max(), 20.0);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(3, 7);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, LogUniformSpansDecades) {
+  Rng r(13);
+  int low_decade = 0, high_decade = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = r.log_uniform(1e6, 1e9);
+    ASSERT_GE(v, 1e6 * 0.999);
+    ASSERT_LE(v, 1e9 * 1.001);
+    if (v < 1e7) ++low_decade;
+    if (v > 1e8) ++high_decade;
+  }
+  // Each decade should hold about a third of the draws.
+  EXPECT_NEAR(low_decade / 5000.0, 1.0 / 3.0, 0.05);
+  EXPECT_NEAR(high_decade / 5000.0, 1.0 / 3.0, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(17);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(r.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, Fnv1aKnownValues) {
+  // FNV-1a 64 reference: empty string hashes to the offset basis.
+  EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+}
+
+}  // namespace
+}  // namespace eadt

@@ -1,0 +1,157 @@
+#include "exp/service.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eadt::exp {
+namespace {
+
+testbeds::Testbed tiny_xsede() {
+  auto t = testbeds::xsede();
+  t.recipe.total_bytes /= 64;
+  for (auto& band : t.recipe.bands) {
+    band.max_size = std::max(band.max_size / 64, band.min_size * 2);
+  }
+  return t;
+}
+
+proto::Dataset job_dataset(Bytes file, int count) {
+  proto::Dataset ds;
+  for (int i = 0; i < count; ++i) ds.files.push_back({file});
+  return ds;
+}
+
+proto::SessionConfig fast_cfg() {
+  proto::SessionConfig cfg;
+  cfg.sample_interval = 1.0;
+  return cfg;
+}
+
+TEST(Service, PolicyNames) {
+  EXPECT_STREQ(to_string(JobPolicy::kDeadline), "deadline");
+  EXPECT_STREQ(to_string(JobPolicy::kGreen), "green");
+  EXPECT_STREQ(to_string(JobPolicy::kBalanced), "balanced");
+  EXPECT_STREQ(to_string(JobPolicy::kSla), "sla");
+  EXPECT_STREQ(to_string(JobPolicy::kEnergyBudget), "energy-budget");
+}
+
+TEST(Service, MeasuresReferenceRateOnce) {
+  TransferService service(tiny_xsede(), 0.0, fast_cfg());
+  EXPECT_GT(service.reference_rate(), gbps(1.0));
+  // An explicit reference skips the measurement.
+  TransferService fixed(tiny_xsede(), gbps(5.0), fast_cfg());
+  EXPECT_DOUBLE_EQ(fixed.reference_rate(), gbps(5.0));
+}
+
+TEST(Service, FifoTimelineIsContiguousAndTotalsAdd) {
+  TransferService service(tiny_xsede(), gbps(7.0), fast_cfg());
+  std::vector<TransferJob> jobs;
+  jobs.push_back({"a", job_dataset(100 * kMB, 8), JobPolicy::kDeadline, 0, 0, 8});
+  jobs.push_back({"b", job_dataset(100 * kMB, 8), JobPolicy::kGreen, 0, 0, 8});
+  const auto report = service.run_queue(jobs, QueueOrder::kFifo);
+
+  ASSERT_EQ(report.jobs.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.jobs[0].queued_at, 0.0);
+  EXPECT_DOUBLE_EQ(report.jobs[1].queued_at, report.jobs[0].finished_at);
+  EXPECT_DOUBLE_EQ(report.makespan, report.jobs[1].finished_at);
+  EXPECT_EQ(report.total_bytes, 2u * 8u * 100 * kMB);
+  EXPECT_NEAR(report.total_energy,
+              report.jobs[0].result.end_system_energy +
+                  report.jobs[1].result.end_system_energy,
+              1e-9);
+  EXPECT_EQ(report.jobs[0].name, "a");  // FIFO keeps order
+}
+
+TEST(Service, GreenJobUsesLessEnergyThanDeadlineJob) {
+  TransferService service(tiny_xsede(), gbps(7.0), fast_cfg());
+  const auto t = tiny_xsede();
+  const auto ds = t.make_dataset();
+  std::vector<TransferJob> jobs;
+  jobs.push_back({"fast", ds, JobPolicy::kDeadline, 0, 0, 12});
+  jobs.push_back({"green", ds, JobPolicy::kGreen, 0, 0, 12});
+  const auto report = service.run_queue(jobs);
+  EXPECT_LT(report.jobs[1].result.end_system_energy,
+            report.jobs[0].result.end_system_energy);
+  EXPECT_GE(report.jobs[0].throughput_mbps(), report.jobs[1].throughput_mbps());
+}
+
+TEST(Service, ShortestFirstReordersByBytes) {
+  TransferService service(tiny_xsede(), gbps(7.0), fast_cfg());
+  std::vector<TransferJob> jobs;
+  jobs.push_back({"big", job_dataset(400 * kMB, 4), JobPolicy::kDeadline, 0, 0, 8});
+  jobs.push_back({"small", job_dataset(50 * kMB, 4), JobPolicy::kDeadline, 0, 0, 8});
+  const auto report = service.run_queue(jobs, QueueOrder::kShortestFirst);
+  ASSERT_EQ(report.jobs.size(), 2u);
+  EXPECT_EQ(report.jobs[0].name, "small");
+  EXPECT_EQ(report.jobs[1].name, "big");
+}
+
+TEST(Service, GreenFirstFrontloadsGreenJobs) {
+  TransferService service(tiny_xsede(), gbps(7.0), fast_cfg());
+  std::vector<TransferJob> jobs;
+  jobs.push_back({"d1", job_dataset(50 * kMB, 4), JobPolicy::kDeadline, 0, 0, 8});
+  jobs.push_back({"g1", job_dataset(50 * kMB, 4), JobPolicy::kGreen, 0, 0, 8});
+  jobs.push_back({"d2", job_dataset(50 * kMB, 4), JobPolicy::kDeadline, 0, 0, 8});
+  jobs.push_back({"g2", job_dataset(50 * kMB, 4), JobPolicy::kGreen, 0, 0, 8});
+  const auto report = service.run_queue(jobs, QueueOrder::kGreenFirst);
+  EXPECT_EQ(report.jobs[0].name, "g1");
+  EXPECT_EQ(report.jobs[1].name, "g2");  // stable within class
+  EXPECT_EQ(report.jobs[2].name, "d1");
+}
+
+TEST(Service, SlaJobIsScoredAgainstTheReference) {
+  const auto t = tiny_xsede();
+  TransferService service(t, 0.0, fast_cfg());
+  std::vector<TransferJob> jobs;
+  TransferJob sla;
+  sla.name = "sla70";
+  sla.dataset = t.make_dataset();
+  sla.policy = JobPolicy::kSla;
+  sla.sla_percent = 70.0;
+  sla.max_channels = 12;
+  jobs.push_back(std::move(sla));
+  const auto report = service.run_queue(jobs);
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_TRUE(report.jobs[0].result.completed);
+  EXPECT_TRUE(report.jobs[0].sla_met);
+}
+
+TEST(Service, EnergyBudgetJobRespectsItsCap) {
+  const auto t = tiny_xsede();
+  TransferService service(t, gbps(7.0), fast_cfg());
+  const auto ds = t.make_dataset();
+
+  // Establish a generous but binding cap from a deadline run.
+  std::vector<TransferJob> probe;
+  probe.push_back({"probe", ds, JobPolicy::kDeadline, 0, 0, 12});
+  const auto probe_report = service.run_queue(probe);
+  const Joules cap = probe_report.jobs[0].result.end_system_energy * 0.9;
+
+  std::vector<TransferJob> jobs;
+  TransferJob budget;
+  budget.name = "capped";
+  budget.dataset = ds;
+  budget.policy = JobPolicy::kEnergyBudget;
+  budget.energy_budget = cap;
+  budget.max_channels = 12;
+  jobs.push_back(std::move(budget));
+  const auto report = service.run_queue(jobs);
+  EXPECT_TRUE(report.jobs[0].result.completed);
+  // The service dataset is tiny (a couple of sampling windows), so the
+  // controller only gets one or two corrections in; 15 % covers that.
+  EXPECT_LT(report.jobs[0].result.end_system_energy, cap * 1.15);
+}
+
+TEST(Service, DeterministicReports) {
+  const auto t = tiny_xsede();
+  std::vector<TransferJob> jobs;
+  jobs.push_back({"x", t.make_dataset(), JobPolicy::kBalanced, 0, 0, 8});
+  TransferService s1(t, gbps(7.0), fast_cfg());
+  TransferService s2(t, gbps(7.0), fast_cfg());
+  const auto r1 = s1.run_queue(jobs);
+  const auto r2 = s2.run_queue(jobs);
+  EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+  EXPECT_DOUBLE_EQ(r1.total_energy, r2.total_energy);
+}
+
+}  // namespace
+}  // namespace eadt::exp

@@ -1,0 +1,151 @@
+// Steal-policy and channel-management behaviour of the transfer engine.
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "proto/session.hpp"
+#include "test_env.hpp"
+
+namespace eadt::proto {
+namespace {
+
+using testutil::dataset_of;
+using testutil::small_env;
+
+/// Two chunks: a Small one with many files, a Large one with a few big files.
+struct TwoChunkSetup {
+  Dataset dataset;
+  TransferPlan plan;
+};
+
+TwoChunkSetup two_chunks(int small_channels, int large_channels, StealPolicy steal) {
+  TwoChunkSetup s;
+  Chunk small{SizeClass::kSmall, {}, 0};
+  for (int i = 0; i < 30; ++i) {
+    small.file_ids.push_back(static_cast<std::uint32_t>(s.dataset.files.size()));
+    s.dataset.files.push_back({2 * kMB});
+    small.total += 2 * kMB;
+  }
+  Chunk large{SizeClass::kLarge, {}, 0};
+  for (int i = 0; i < 4; ++i) {
+    large.file_ids.push_back(static_cast<std::uint32_t>(s.dataset.files.size()));
+    s.dataset.files.push_back({120 * kMB});
+    large.total += 120 * kMB;
+  }
+  s.plan.chunks = {small, large};
+  s.plan.params = {{8, 1, small_channels}, {1, 1, large_channels}};
+  s.plan.steal = steal;
+  return s;
+}
+
+TEST(StealPolicy, NoneStrandsAnUnstaffedChunk) {
+  // The Large chunk gets zero channels and nobody may help it: the run must
+  // hit the time guard with exactly the Small chunk's bytes moved.
+  const auto env = small_env();
+  auto setup = two_chunks(2, 0, StealPolicy::kNone);
+  SessionConfig cfg;
+  cfg.max_sim_time = 30.0;
+  TransferSession session(env, setup.dataset, setup.plan, cfg);
+  const auto r = session.run();
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.bytes, 30u * 2 * kMB);
+}
+
+TEST(StealPolicy, AllFinishesEverything) {
+  const auto env = small_env();
+  auto setup = two_chunks(2, 0, StealPolicy::kAll);
+  TransferSession session(env, setup.dataset, setup.plan);
+  const auto r = session.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.bytes, setup.dataset.total_bytes());
+}
+
+TEST(StealPolicy, NonLargeOnlyNeverGrowsTheLargeChunk) {
+  // Small finishes early; its freed channels must NOT pile onto Large:
+  // once only Large remains, at most its planned single channel stays busy.
+  const auto env = small_env();
+  auto setup = two_chunks(4, 1, StealPolicy::kNonLargeOnly);
+  SessionConfig cfg;
+  cfg.sample_interval = 0.5;
+  TransferSession session(env, setup.dataset, setup.plan, cfg);
+  const auto r = session.run();
+  ASSERT_TRUE(r.completed);
+  // The tail samples (small chunk long gone) must show exactly one channel.
+  ASSERT_GE(r.samples.size(), 4u);
+  for (std::size_t i = r.samples.size() - 2; i < r.samples.size(); ++i) {
+    EXPECT_LE(r.samples[i].active_channels, 1) << "sample " << i;
+  }
+}
+
+TEST(StealPolicy, NonLargeOnlyStillServesALargeOnlyPlan) {
+  // Large gets zero planned channels; once nothing else lives it must still
+  // receive one ("MinE assigns a single channel to the large chunk
+  // regardless").
+  const auto env = small_env();
+  auto setup = two_chunks(3, 0, StealPolicy::kNonLargeOnly);
+  TransferSession session(env, setup.dataset, setup.plan);
+  const auto r = session.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.bytes, setup.dataset.total_bytes());
+}
+
+TEST(StealPolicy, AllConvergesChannelsOntoTheSurvivingChunk) {
+  const auto env = small_env();
+  auto setup = two_chunks(4, 2, StealPolicy::kAll);
+  SessionConfig cfg;
+  cfg.sample_interval = 0.5;
+  TransferSession session(env, setup.dataset, setup.plan, cfg);
+  const auto r = session.run();
+  ASSERT_TRUE(r.completed);
+  // After the small chunk drains, more than the original two channels work
+  // the large one (4 files allow up to 4).
+  int max_late = 0;
+  for (std::size_t i = r.samples.size() / 2; i < r.samples.size(); ++i) {
+    max_late = std::max(max_late, r.samples[i].active_channels);
+  }
+  EXPECT_GE(max_late, 3);
+}
+
+TEST(NetworkEnergy, DependsOnlyOnBytesNotOnTheAlgorithm) {
+  // Load-dependent device energy is per-packet: every complete transfer of
+  // the same dataset over the same route costs the same network Joules.
+  const auto env = small_env();
+  const auto ds = testutil::mixed_dataset();
+  TransferSession a(env, ds, baselines::plan_promc(env, ds, 6));
+  TransferSession b(env, ds, baselines::plan_guc(env, ds));
+  const auto ra = a.run();
+  const auto rb = b.run();
+  ASSERT_TRUE(ra.completed);
+  ASSERT_TRUE(rb.completed);
+  EXPECT_NEAR(ra.network_energy, rb.network_energy, ra.network_energy * 0.01);
+}
+
+TEST(Concurrency, TargetIsClampedToAtLeastOne) {
+  const auto env = small_env();
+  const auto ds = dataset_of({10 * kMB, 10 * kMB});
+  struct Zeroer final : Controller {
+    void on_sample(TransferSession& s, const SampleStats&) override {
+      s.set_total_concurrency(0);  // hostile input
+    }
+  } zeroer;
+  SessionConfig cfg;
+  cfg.sample_interval = 0.2;
+  TransferSession session(env, ds, baselines::plan_promc(env, ds, 2), cfg);
+  const auto r = session.run(&zeroer);
+  EXPECT_TRUE(r.completed);  // clamp keeps one channel alive
+}
+
+TEST(Placement, RoundRobinCyclesThroughServers) {
+  const auto env = small_env(3);
+  Dataset ds = dataset_of({50 * kMB, 50 * kMB, 50 * kMB, 50 * kMB, 50 * kMB,
+                           50 * kMB});
+  auto plan = baselines::plan_guc(env, ds, /*concurrency=*/6);
+  TransferSession session(env, ds, plan);
+  const auto r = session.run();
+  ASSERT_TRUE(r.completed);
+  // Six channels over three servers: every server participated.
+  for (const auto& s : r.source_servers) EXPECT_GT(s.active_time, 0.0) << s.name;
+  for (const auto& s : r.destination_servers) EXPECT_GT(s.active_time, 0.0) << s.name;
+}
+
+}  // namespace
+}  // namespace eadt::proto

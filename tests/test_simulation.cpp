@@ -1,0 +1,120 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace eadt::sim {
+namespace {
+
+TEST(Simulation, FiresInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.run_until();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, EqualTimesFireInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, ScheduleAfterIsRelative) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_after(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run_until();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulation, PastTimesClampToNow) {
+  Simulation sim;
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_at(1.0, [&] { fired_at = sim.now(); });  // in the past
+  });
+  sim.run_until();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run_until();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelInvalidIdIsFalse) {
+  Simulation sim;
+  EXPECT_FALSE(sim.cancel(EventId{}));
+}
+
+TEST(Simulation, RunUntilDeadlineStopsAndAdvancesClock) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(10.0, [&] { ++count; });
+  const auto fired = sim.run_until(5.0);
+  EXPECT_EQ(fired, 1u);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, EmptyRunAdvancesToFiniteDeadline) {
+  Simulation sim;
+  sim.run_until(42.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+TEST(Simulation, TickerRepeatsUntilFalse) {
+  Simulation sim;
+  int ticks = 0;
+  sim.add_ticker(1.0, [&] {
+    ++ticks;
+    return ticks < 4;
+  });
+  sim.run_until(100.0);
+  EXPECT_EQ(ticks, 4);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulation, TickerIntervalIsRespected) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.add_ticker(0.5, [&] {
+    times.push_back(sim.now());
+    return times.size() < 3;
+  });
+  sim.run_until();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 0.5);
+  EXPECT_DOUBLE_EQ(times[1], 1.0);
+  EXPECT_DOUBLE_EQ(times[2], 1.5);
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+}  // namespace
+}  // namespace eadt::sim

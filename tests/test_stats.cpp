@@ -1,0 +1,123 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace eadt {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSeries) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> x{1, 2, 3, 4, 5}, y{2, 4, 6, 8, 10};
+  const auto r = pearson_correlation(x, y);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR(*r, 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAntiCorrelation) {
+  std::vector<double> x{1, 2, 3}, y{3, 2, 1};
+  EXPECT_NEAR(*pearson_correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputs) {
+  std::vector<double> x{1, 2, 3}, flat{5, 5, 5}, short_x{1};
+  EXPECT_FALSE(pearson_correlation(x, flat).has_value());
+  EXPECT_FALSE(pearson_correlation(short_x, short_x).has_value());
+  std::vector<double> y2{1, 2};
+  EXPECT_FALSE(pearson_correlation(x, y2).has_value());
+}
+
+TEST(LinearFit, RecoversExactCoefficients) {
+  // y = 3*a + 5*b + 7 (with intercept column).
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(21);
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.uniform(0, 10), b = rng.uniform(0, 10);
+    rows.push_back({a, b, 1.0});
+    y.push_back(3.0 * a + 5.0 * b + 7.0);
+  }
+  const auto fit = fit_linear(rows, y);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->coefficients[0], 3.0, 1e-9);
+  EXPECT_NEAR(fit->coefficients[1], 5.0, 1e-9);
+  EXPECT_NEAR(fit->coefficients[2], 7.0, 1e-9);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyFitHasHighR2) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(22);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(0, 1);
+    rows.push_back({a, 1.0});
+    y.push_back(10.0 * a + 2.0 + rng.normal(0.0, 0.1));
+  }
+  const auto fit = fit_linear(rows, y);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->coefficients[0], 10.0, 0.2);
+  EXPECT_GT(fit->r_squared, 0.98);
+}
+
+TEST(LinearFit, RejectsMalformedInput) {
+  std::vector<std::vector<double>> empty;
+  std::vector<double> y;
+  EXPECT_FALSE(fit_linear(empty, y).has_value());
+
+  std::vector<std::vector<double>> ragged{{1.0, 2.0}, {1.0}};
+  std::vector<double> y2{1.0, 2.0};
+  EXPECT_FALSE(fit_linear(ragged, y2).has_value());
+
+  // Fewer rows than features.
+  std::vector<std::vector<double>> thin{{1.0, 2.0, 3.0}};
+  std::vector<double> y3{1.0};
+  EXPECT_FALSE(fit_linear(thin, y3).has_value());
+}
+
+TEST(LinearFit, RejectsSingularSystem) {
+  // Two identical columns -> singular normal matrix.
+  std::vector<std::vector<double>> rows{{1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}};
+  std::vector<double> y{1, 2, 3};
+  EXPECT_FALSE(fit_linear(rows, y).has_value());
+}
+
+TEST(Mape, BasicAndSkipsZeros) {
+  std::vector<double> pred{110, 90, 100}, act{100, 100, 0};
+  const auto m = mape_percent(pred, act);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NEAR(*m, 10.0, 1e-12);  // third entry skipped
+  std::vector<double> zeros{0, 0};
+  EXPECT_FALSE(mape_percent(zeros, zeros).has_value());
+}
+
+}  // namespace
+}  // namespace eadt

@@ -1,0 +1,52 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace eadt {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"alg", "throughput"});
+  t.add_row({"GUC", "950.0"});
+  t.add_row({"ProMC", "7500.2"});
+  std::ostringstream os;
+  t.render(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alg"), std::string::npos);
+  EXPECT_NE(s.find("ProMC"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // Header columns line up with the widest cell.
+  EXPECT_NE(s.find("alg    throughput"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(10.0, 0), "10");
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  t.render_csv(os);
+  EXPECT_EQ(os.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace eadt

@@ -1,0 +1,81 @@
+#include "testbeds/testbeds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eadt::testbeds {
+namespace {
+
+TEST(Testbeds, XsedeMatchesFigure1) {
+  const auto t = xsede();
+  EXPECT_DOUBLE_EQ(t.env.path.bandwidth, gbps(10.0));
+  EXPECT_DOUBLE_EQ(t.env.path.rtt, 0.040);
+  EXPECT_EQ(t.env.path.tcp_buffer, 32 * kMB);
+  EXPECT_EQ(t.env.source.servers.size(), 4u);  // four DTNs per site
+  EXPECT_EQ(t.env.destination.servers.size(), 4u);
+  EXPECT_EQ(t.env.source.servers[0].cores, 4);
+  EXPECT_EQ(t.env.bdp(), 50'000'000ULL);
+}
+
+TEST(Testbeds, FuturegridMatchesFigure1) {
+  const auto t = futuregrid();
+  EXPECT_DOUBLE_EQ(t.env.path.bandwidth, gbps(1.0));
+  EXPECT_DOUBLE_EQ(t.env.path.rtt, 0.028);
+  EXPECT_EQ(t.env.bdp(), 3'500'000ULL);
+  EXPECT_EQ(t.env.route.count(net::DeviceKind::kMetroRouter), 3u);
+}
+
+TEST(Testbeds, DidclabIsLanWithSingleDisk) {
+  const auto t = didclab();
+  EXPECT_DOUBLE_EQ(t.env.path.bandwidth, gbps(1.0));
+  EXPECT_LT(t.env.path.rtt, 0.001);
+  EXPECT_EQ(t.env.source.servers.size(), 1u);
+  EXPECT_EQ(t.env.source.servers[0].disk.kind, host::DiskKind::kSingleDisk);
+  EXPECT_EQ(t.env.route.size(), 1u);
+}
+
+TEST(Testbeds, DatasetRecipesMatchSection3) {
+  const auto xs = xsede();
+  EXPECT_EQ(xs.recipe.total_bytes, 160ULL * kGB);
+  EXPECT_EQ(xs.recipe.bands.front().min_size, 3 * kMB);
+  EXPECT_EQ(xs.recipe.bands.back().max_size, 20 * kGB);
+
+  const auto fg = futuregrid();
+  EXPECT_EQ(fg.recipe.total_bytes, 40ULL * kGB);
+  EXPECT_EQ(fg.recipe.bands.back().max_size, 5 * kGB);
+  EXPECT_EQ(didclab().recipe.total_bytes, 40ULL * kGB);
+}
+
+TEST(Testbeds, DatasetGenerationIsDeterministic) {
+  const auto t = futuregrid();
+  const auto a = t.make_dataset();
+  const auto b = t.make_dataset();
+  ASSERT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.total_bytes(), b.total_bytes());
+  const double total = static_cast<double>(a.total_bytes());
+  EXPECT_NEAR(total, static_cast<double>(t.recipe.total_bytes), total * 0.02);
+}
+
+TEST(Testbeds, BandSharesSumToOne) {
+  for (const auto& t : all_testbeds()) {
+    double sum = 0.0;
+    for (const auto& b : t.recipe.bands) sum += b.byte_share;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << t.env.name;
+  }
+}
+
+TEST(Testbeds, AllHaveConsistentEndpoints) {
+  for (const auto& t : all_testbeds()) {
+    EXPECT_FALSE(t.env.source.servers.empty()) << t.env.name;
+    EXPECT_FALSE(t.env.destination.servers.empty()) << t.env.name;
+    for (const auto& s : t.env.source.servers) {
+      EXPECT_GT(s.per_core_goodput, 0.0);
+      EXPECT_GT(s.nic_speed, 0.0);
+      EXPECT_GT(s.disk.max_bandwidth, 0.0);
+    }
+    EXPECT_GT(t.env.source.power.cpu_scale, 0.0);
+    EXPECT_GT(t.default_max_channels, 0);
+  }
+}
+
+}  // namespace
+}  // namespace eadt::testbeds

@@ -1,0 +1,49 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace eadt::net {
+namespace {
+
+TEST(Topology, XsedeRouteShape) {
+  const Route r = xsede_route();
+  // Symmetric campus chains on both sides of Internet2 (Figure 9a).
+  EXPECT_EQ(r.size(), 6u);
+  EXPECT_EQ(r.count(DeviceKind::kEdgeSwitch), 2u);
+  EXPECT_EQ(r.count(DeviceKind::kEnterpriseSwitch), 2u);
+  EXPECT_EQ(r.count(DeviceKind::kEdgeRouter), 2u);
+  EXPECT_EQ(r.count(DeviceKind::kMetroRouter), 0u);
+}
+
+TEST(Topology, FuturegridRouteHasMetroRouters) {
+  const Route r = futuregrid_route();
+  // Figure 9b: the Chicago-Texas path rides metro routers — the most
+  // power-hungry devices in Table 1, which is why FutureGrid's network
+  // share of total energy is the largest (Figure 10).
+  EXPECT_EQ(r.count(DeviceKind::kMetroRouter), 3u);
+  EXPECT_EQ(r.count(DeviceKind::kEdgeSwitch), 2u);
+}
+
+TEST(Topology, DidclabIsSingleSwitch) {
+  const Route r = didclab_route();
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.count(DeviceKind::kEdgeSwitch), 1u);
+}
+
+TEST(Topology, DeviceKindNames) {
+  EXPECT_STREQ(to_string(DeviceKind::kEnterpriseSwitch), "enterprise-switch");
+  EXPECT_STREQ(to_string(DeviceKind::kEdgeSwitch), "edge-switch");
+  EXPECT_STREQ(to_string(DeviceKind::kMetroRouter), "metro-router");
+  EXPECT_STREQ(to_string(DeviceKind::kEdgeRouter), "edge-router");
+}
+
+TEST(Topology, CountOnEmptyRoute) {
+  Route r;
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.count(DeviceKind::kEdgeSwitch), 0u);
+}
+
+}  // namespace
+}  // namespace eadt::net

@@ -1,0 +1,124 @@
+#include "core/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eadt::core {
+namespace {
+
+// The XSEDE numbers: BDP = 50 MB (decimal), buffer = 32 MiB.
+constexpr Bytes kBdp = 50'000'000ULL;
+constexpr Bytes kBuf = 32 * kMB;
+
+TEST(Tuner, PipeliningIsBdpOverAvgFileSize) {
+  // ceil(50 MB / 3 MiB) = 16: small files get deep pipelining.
+  EXPECT_EQ(pipelining_level(kBdp, 3 * kMB), 16);
+  // Files at/above BDP need none.
+  EXPECT_EQ(pipelining_level(kBdp, 50'000'000ULL), 1);
+  EXPECT_EQ(pipelining_level(kBdp, 20 * kGB), 1);
+}
+
+TEST(Tuner, PipeliningClampsDegenerateInputs) {
+  EXPECT_EQ(pipelining_level(kBdp, 0), kMaxPipelining);
+  EXPECT_EQ(pipelining_level(kBdp, 1), kMaxPipelining);  // would be 50M
+  EXPECT_EQ(pipelining_level(0, 3 * kMB), 1);
+}
+
+TEST(Tuner, ParallelismFormulaMatchesAlgorithm1) {
+  // max(min(ceil(BDP/buf), ceil(avg/buf)), 1)
+  // Large files on XSEDE: ceil(50MB/32MiB) = 2 streams.
+  EXPECT_EQ(parallelism_level(kBdp, 20 * kGB, kBuf), 2);
+  // Small files: ceil(3MiB/32MiB) = 1 -> single stream.
+  EXPECT_EQ(parallelism_level(kBdp, 3 * kMB, kBuf), 1);
+  // Buffer above BDP: one stream suffices even for big files.
+  EXPECT_EQ(parallelism_level(kBdp, 20 * kGB, 64 * kMB), 1);
+  EXPECT_EQ(parallelism_level(kBdp, 20 * kGB, 0), 1);
+}
+
+TEST(Tuner, ConcurrencyFormulaMatchesAlgorithm1) {
+  // min(ceil(BDP/avg), ceil((avail+1)/2))
+  // Small chunk grabs half the channel budget (rounded up)...
+  EXPECT_EQ(concurrency_level(kBdp, 3 * kMB, 12), 7);  // ceil(13/2)
+  // ...the Large chunk is pinned to one channel by ceil(BDP/avg) = 1.
+  EXPECT_EQ(concurrency_level(kBdp, 20 * kGB, 12), 1);
+  EXPECT_EQ(concurrency_level(kBdp, 20 * kGB, 100), 1);
+}
+
+TEST(Tuner, ConcurrencyWithExhaustedBudget) {
+  EXPECT_EQ(concurrency_level(kBdp, 3 * kMB, 0), 1);   // ceil(1/2) = 1
+  EXPECT_EQ(concurrency_level(kBdp, 3 * kMB, -1), 0);  // nothing left
+}
+
+TEST(Tuner, MinEBudgetWalkThreeChunks) {
+  // Reproduce Algorithm 1's walk at maxChannel = 12 for a typical XSEDE
+  // dataset: Small avg 15 MiB, Medium avg 300 MiB, Large avg 6 GiB.
+  int avail = 12;
+  const int small = concurrency_level(kBdp, 15 * kMB, avail);
+  avail -= small;
+  const int medium = concurrency_level(kBdp, 300 * kMB, avail);
+  avail -= medium;
+  const int large = concurrency_level(kBdp, 6 * kGB, avail);
+  EXPECT_EQ(small, 4);   // min(ceil(50M/15Mi)=4, 7)
+  EXPECT_EQ(medium, 1);  // min(ceil(50M/300Mi)=1, ...)
+  EXPECT_EQ(large, 1);
+}
+
+TEST(Weights, LogWeightsNormalised) {
+  std::vector<proto::Chunk> chunks(3);
+  chunks[0] = {proto::SizeClass::kSmall, std::vector<std::uint32_t>(100), 1 * kGB};
+  chunks[1] = {proto::SizeClass::kMedium, std::vector<std::uint32_t>(20), 4 * kGB};
+  chunks[2] = {proto::SizeClass::kLarge, std::vector<std::uint32_t>(4), 11 * kGB};
+  const auto w = chunk_weights(chunks);
+  ASSERT_EQ(w.size(), 3u);
+  double sum = 0.0;
+  for (double v : w) {
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // The many-file small chunk outweighs the few-file large chunk when byte
+  // totals are comparable in log space.
+  EXPECT_GT(w[0], w[2] * 0.5);
+}
+
+TEST(Weights, DegenerateChunksDoNotPoisonWeights) {
+  std::vector<proto::Chunk> chunks(2);
+  chunks[0] = {proto::SizeClass::kSmall, {0}, 1};  // log(1) would zero it
+  chunks[1] = {proto::SizeClass::kLarge, std::vector<std::uint32_t>(10), 1 * kGB};
+  const auto w = chunk_weights(chunks);
+  EXPECT_GT(w[0], 0.0);
+  EXPECT_LT(w[0], w[1]);
+}
+
+TEST(Allocation, FloorOnlyMatchesPaperHtee) {
+  std::vector<proto::Chunk> chunks(2);
+  chunks[0] = {proto::SizeClass::kSmall, std::vector<std::uint32_t>(100), 2 * kGB};
+  chunks[1] = {proto::SizeClass::kLarge, std::vector<std::uint32_t>(5), 8 * kGB};
+  const auto alloc = allocate_channels_by_weight(chunks, 10, false);
+  int total = 0;
+  for (int a : alloc) total += a;
+  EXPECT_LE(total, 10);  // floor() may leave remainder unassigned
+}
+
+TEST(Allocation, EnsureTotalUsesFullBudget) {
+  std::vector<proto::Chunk> chunks(3);
+  chunks[0] = {proto::SizeClass::kSmall, std::vector<std::uint32_t>(300), 2 * kGB};
+  chunks[1] = {proto::SizeClass::kMedium, std::vector<std::uint32_t>(40), 3 * kGB};
+  chunks[2] = {proto::SizeClass::kLarge, std::vector<std::uint32_t>(6), 5 * kGB};
+  for (int budget : {1, 2, 5, 12, 20}) {
+    const auto alloc = allocate_channels_by_weight(chunks, budget, true);
+    int total = 0;
+    for (int a : alloc) total += a;
+    EXPECT_EQ(total, budget) << "budget " << budget;
+  }
+}
+
+TEST(Allocation, ProportionalOrdering) {
+  std::vector<proto::Chunk> chunks(2);
+  chunks[0] = {proto::SizeClass::kSmall, std::vector<std::uint32_t>(1000), 10 * kGB};
+  chunks[1] = {proto::SizeClass::kLarge, std::vector<std::uint32_t>(3), 1 * kGB};
+  const auto alloc = allocate_channels_by_weight(chunks, 12, true);
+  EXPECT_GT(alloc[0], alloc[1]);
+}
+
+}  // namespace
+}  // namespace eadt::core
