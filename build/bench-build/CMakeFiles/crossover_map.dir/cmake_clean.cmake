@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/crossover_map"
+  "../bench/crossover_map.pdb"
+  "CMakeFiles/crossover_map.dir/crossover_map.cpp.o"
+  "CMakeFiles/crossover_map.dir/crossover_map.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossover_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

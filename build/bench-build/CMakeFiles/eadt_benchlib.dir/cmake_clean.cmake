@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadt_benchlib.dir/bench_common.cpp.o"
+  "CMakeFiles/eadt_benchlib.dir/bench_common.cpp.o.d"
+  "libeadt_benchlib.a"
+  "libeadt_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadt_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

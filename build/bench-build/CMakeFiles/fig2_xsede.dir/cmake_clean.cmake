@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_xsede"
+  "../bench/fig2_xsede.pdb"
+  "CMakeFiles/fig2_xsede.dir/fig2_xsede.cpp.o"
+  "CMakeFiles/fig2_xsede.dir/fig2_xsede.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_xsede.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_futuregrid"
+  "../bench/fig3_futuregrid.pdb"
+  "CMakeFiles/fig3_futuregrid.dir/fig3_futuregrid.cpp.o"
+  "CMakeFiles/fig3_futuregrid.dir/fig3_futuregrid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_futuregrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

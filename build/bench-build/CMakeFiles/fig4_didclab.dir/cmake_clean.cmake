@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_didclab"
+  "../bench/fig4_didclab.pdb"
+  "CMakeFiles/fig4_didclab.dir/fig4_didclab.cpp.o"
+  "CMakeFiles/fig4_didclab.dir/fig4_didclab.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_didclab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_sla_xsede"
+  "../bench/fig5_sla_xsede.pdb"
+  "CMakeFiles/fig5_sla_xsede.dir/fig5_sla_xsede.cpp.o"
+  "CMakeFiles/fig5_sla_xsede.dir/fig5_sla_xsede.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sla_xsede.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_sla_futuregrid"
+  "../bench/fig6_sla_futuregrid.pdb"
+  "CMakeFiles/fig6_sla_futuregrid.dir/fig6_sla_futuregrid.cpp.o"
+  "CMakeFiles/fig6_sla_futuregrid.dir/fig6_sla_futuregrid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sla_futuregrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

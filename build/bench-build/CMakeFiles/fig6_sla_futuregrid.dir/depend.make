@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_sla_futuregrid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_sla_didclab"
+  "../bench/fig7_sla_didclab.pdb"
+  "CMakeFiles/fig7_sla_didclab.dir/fig7_sla_didclab.cpp.o"
+  "CMakeFiles/fig7_sla_didclab.dir/fig7_sla_didclab.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_sla_didclab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

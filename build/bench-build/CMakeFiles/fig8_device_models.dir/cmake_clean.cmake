@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_device_models"
+  "../bench/fig8_device_models.pdb"
+  "CMakeFiles/fig8_device_models.dir/fig8_device_models.cpp.o"
+  "CMakeFiles/fig8_device_models.dir/fig8_device_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_device_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/robustness_jitter"
+  "../bench/robustness_jitter.pdb"
+  "CMakeFiles/robustness_jitter.dir/robustness_jitter.cpp.o"
+  "CMakeFiles/robustness_jitter.dir/robustness_jitter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

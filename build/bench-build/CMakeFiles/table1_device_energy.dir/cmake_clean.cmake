@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_device_energy"
+  "../bench/table1_device_energy.pdb"
+  "CMakeFiles/table1_device_energy.dir/table1_device_energy.cpp.o"
+  "CMakeFiles/table1_device_energy.dir/table1_device_energy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_device_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/validation_tcp_model"
+  "../bench/validation_tcp_model.pdb"
+  "CMakeFiles/validation_tcp_model.dir/validation_tcp_model.cpp.o"
+  "CMakeFiles/validation_tcp_model.dir/validation_tcp_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_tcp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_calibration.dir/model_calibration.cpp.o"
+  "CMakeFiles/model_calibration.dir/model_calibration.cpp.o.d"
+  "model_calibration"
+  "model_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

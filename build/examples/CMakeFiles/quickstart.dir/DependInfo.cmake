@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/eadt_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/eadt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eadt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbeds/CMakeFiles/eadt_testbeds.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/eadt_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eadt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/eadt_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eadt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/eadt_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eadt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

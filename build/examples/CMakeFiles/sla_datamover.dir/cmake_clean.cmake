@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_datamover.dir/sla_datamover.cpp.o"
+  "CMakeFiles/sla_datamover.dir/sla_datamover.cpp.o.d"
+  "sla_datamover"
+  "sla_datamover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_datamover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_service.dir/transfer_service.cpp.o"
+  "CMakeFiles/transfer_service.dir/transfer_service.cpp.o.d"
+  "transfer_service"
+  "transfer_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadt_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/eadt_baselines.dir/baselines.cpp.o.d"
+  "libeadt_baselines.a"
+  "libeadt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadt_core.dir/algorithms.cpp.o"
+  "CMakeFiles/eadt_core.dir/algorithms.cpp.o.d"
+  "CMakeFiles/eadt_core.dir/energy_budget.cpp.o"
+  "CMakeFiles/eadt_core.dir/energy_budget.cpp.o.d"
+  "CMakeFiles/eadt_core.dir/model_based.cpp.o"
+  "CMakeFiles/eadt_core.dir/model_based.cpp.o.d"
+  "CMakeFiles/eadt_core.dir/tuner.cpp.o"
+  "CMakeFiles/eadt_core.dir/tuner.cpp.o.d"
+  "libeadt_core.a"
+  "libeadt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadt_exp.dir/report.cpp.o"
+  "CMakeFiles/eadt_exp.dir/report.cpp.o.d"
+  "CMakeFiles/eadt_exp.dir/runner.cpp.o"
+  "CMakeFiles/eadt_exp.dir/runner.cpp.o.d"
+  "CMakeFiles/eadt_exp.dir/service.cpp.o"
+  "CMakeFiles/eadt_exp.dir/service.cpp.o.d"
+  "CMakeFiles/eadt_exp.dir/trace.cpp.o"
+  "CMakeFiles/eadt_exp.dir/trace.cpp.o.d"
+  "libeadt_exp.a"
+  "libeadt_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadt_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

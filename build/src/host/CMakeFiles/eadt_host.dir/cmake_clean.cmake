@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadt_host.dir/server.cpp.o"
+  "CMakeFiles/eadt_host.dir/server.cpp.o.d"
+  "libeadt_host.a"
+  "libeadt_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadt_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

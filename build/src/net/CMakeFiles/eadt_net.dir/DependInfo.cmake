@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fair_share.cpp" "src/net/CMakeFiles/eadt_net.dir/fair_share.cpp.o" "gcc" "src/net/CMakeFiles/eadt_net.dir/fair_share.cpp.o.d"
+  "/root/repo/src/net/packet_sim.cpp" "src/net/CMakeFiles/eadt_net.dir/packet_sim.cpp.o" "gcc" "src/net/CMakeFiles/eadt_net.dir/packet_sim.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/eadt_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/eadt_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eadt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

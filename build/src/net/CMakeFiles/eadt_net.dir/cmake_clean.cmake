@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadt_net.dir/fair_share.cpp.o"
+  "CMakeFiles/eadt_net.dir/fair_share.cpp.o.d"
+  "CMakeFiles/eadt_net.dir/packet_sim.cpp.o"
+  "CMakeFiles/eadt_net.dir/packet_sim.cpp.o.d"
+  "CMakeFiles/eadt_net.dir/topology.cpp.o"
+  "CMakeFiles/eadt_net.dir/topology.cpp.o.d"
+  "libeadt_net.a"
+  "libeadt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeadt_net.a"
+)

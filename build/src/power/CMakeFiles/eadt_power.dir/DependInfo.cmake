@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/calibrator.cpp" "src/power/CMakeFiles/eadt_power.dir/calibrator.cpp.o" "gcc" "src/power/CMakeFiles/eadt_power.dir/calibrator.cpp.o.d"
+  "/root/repo/src/power/device.cpp" "src/power/CMakeFiles/eadt_power.dir/device.cpp.o" "gcc" "src/power/CMakeFiles/eadt_power.dir/device.cpp.o.d"
+  "/root/repo/src/power/end_system.cpp" "src/power/CMakeFiles/eadt_power.dir/end_system.cpp.o" "gcc" "src/power/CMakeFiles/eadt_power.dir/end_system.cpp.o.d"
+  "/root/repo/src/power/tariff.cpp" "src/power/CMakeFiles/eadt_power.dir/tariff.cpp.o" "gcc" "src/power/CMakeFiles/eadt_power.dir/tariff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eadt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/eadt_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eadt_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

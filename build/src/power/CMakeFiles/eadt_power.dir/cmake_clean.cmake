@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadt_power.dir/calibrator.cpp.o"
+  "CMakeFiles/eadt_power.dir/calibrator.cpp.o.d"
+  "CMakeFiles/eadt_power.dir/device.cpp.o"
+  "CMakeFiles/eadt_power.dir/device.cpp.o.d"
+  "CMakeFiles/eadt_power.dir/end_system.cpp.o"
+  "CMakeFiles/eadt_power.dir/end_system.cpp.o.d"
+  "CMakeFiles/eadt_power.dir/tariff.cpp.o"
+  "CMakeFiles/eadt_power.dir/tariff.cpp.o.d"
+  "libeadt_power.a"
+  "libeadt_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadt_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadt_proto.dir/dataset.cpp.o"
+  "CMakeFiles/eadt_proto.dir/dataset.cpp.o.d"
+  "CMakeFiles/eadt_proto.dir/session.cpp.o"
+  "CMakeFiles/eadt_proto.dir/session.cpp.o.d"
+  "libeadt_proto.a"
+  "libeadt_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadt_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

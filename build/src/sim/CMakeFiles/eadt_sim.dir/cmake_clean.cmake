@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadt_sim.dir/simulation.cpp.o"
+  "CMakeFiles/eadt_sim.dir/simulation.cpp.o.d"
+  "libeadt_sim.a"
+  "libeadt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadt_testbeds.dir/config_testbed.cpp.o"
+  "CMakeFiles/eadt_testbeds.dir/config_testbed.cpp.o.d"
+  "CMakeFiles/eadt_testbeds.dir/testbeds.cpp.o"
+  "CMakeFiles/eadt_testbeds.dir/testbeds.cpp.o.d"
+  "libeadt_testbeds.a"
+  "libeadt_testbeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadt_testbeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eadt_util.dir/config.cpp.o"
+  "CMakeFiles/eadt_util.dir/config.cpp.o.d"
+  "CMakeFiles/eadt_util.dir/rng.cpp.o"
+  "CMakeFiles/eadt_util.dir/rng.cpp.o.d"
+  "CMakeFiles/eadt_util.dir/stats.cpp.o"
+  "CMakeFiles/eadt_util.dir/stats.cpp.o.d"
+  "CMakeFiles/eadt_util.dir/table.cpp.o"
+  "CMakeFiles/eadt_util.dir/table.cpp.o.d"
+  "libeadt_util.a"
+  "libeadt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eadt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_algorithms.cpp" "tests/CMakeFiles/eadt_tests.dir/test_algorithms.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_algorithms.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/eadt_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_bench_options.cpp" "tests/CMakeFiles/eadt_tests.dir/test_bench_options.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_bench_options.cpp.o.d"
+  "/root/repo/tests/test_calibrator.cpp" "tests/CMakeFiles/eadt_tests.dir/test_calibrator.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_calibrator.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/eadt_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_config_testbed.cpp" "tests/CMakeFiles/eadt_tests.dir/test_config_testbed.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_config_testbed.cpp.o.d"
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/eadt_tests.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_device_power.cpp" "tests/CMakeFiles/eadt_tests.dir/test_device_power.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_device_power.cpp.o.d"
+  "/root/repo/tests/test_energy_budget.cpp" "tests/CMakeFiles/eadt_tests.dir/test_energy_budget.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_energy_budget.cpp.o.d"
+  "/root/repo/tests/test_exp_runner.cpp" "tests/CMakeFiles/eadt_tests.dir/test_exp_runner.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_exp_runner.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/eadt_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fair_share.cpp" "tests/CMakeFiles/eadt_tests.dir/test_fair_share.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_fair_share.cpp.o.d"
+  "/root/repo/tests/test_golden.cpp" "tests/CMakeFiles/eadt_tests.dir/test_golden.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_golden.cpp.o.d"
+  "/root/repo/tests/test_host.cpp" "tests/CMakeFiles/eadt_tests.dir/test_host.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_host.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/eadt_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_model_based.cpp" "tests/CMakeFiles/eadt_tests.dir/test_model_based.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_model_based.cpp.o.d"
+  "/root/repo/tests/test_packet_sim.cpp" "tests/CMakeFiles/eadt_tests.dir/test_packet_sim.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_packet_sim.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/eadt_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/eadt_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/eadt_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/eadt_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_service.cpp" "tests/CMakeFiles/eadt_tests.dir/test_service.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_service.cpp.o.d"
+  "/root/repo/tests/test_session.cpp" "tests/CMakeFiles/eadt_tests.dir/test_session.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_session.cpp.o.d"
+  "/root/repo/tests/test_session_policies.cpp" "tests/CMakeFiles/eadt_tests.dir/test_session_policies.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_session_policies.cpp.o.d"
+  "/root/repo/tests/test_simulation.cpp" "tests/CMakeFiles/eadt_tests.dir/test_simulation.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_simulation.cpp.o.d"
+  "/root/repo/tests/test_sla.cpp" "tests/CMakeFiles/eadt_tests.dir/test_sla.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_sla.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/eadt_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/eadt_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_tariff.cpp" "tests/CMakeFiles/eadt_tests.dir/test_tariff.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_tariff.cpp.o.d"
+  "/root/repo/tests/test_tcp_model.cpp" "tests/CMakeFiles/eadt_tests.dir/test_tcp_model.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_tcp_model.cpp.o.d"
+  "/root/repo/tests/test_testbeds.cpp" "tests/CMakeFiles/eadt_tests.dir/test_testbeds.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_testbeds.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/eadt_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/eadt_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_tuner.cpp" "tests/CMakeFiles/eadt_tests.dir/test_tuner.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_tuner.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/eadt_tests.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/eadt_tests.dir/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/eadt_exp.dir/DependInfo.cmake"
+  "/root/repo/build/bench-build/CMakeFiles/eadt_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/eadt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/eadt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbeds/CMakeFiles/eadt_testbeds.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/eadt_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/eadt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/eadt_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/eadt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/eadt_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eadt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
