@@ -1,0 +1,84 @@
+// Fault drill: rehearse a bad day on the wide-area link.
+//
+// An operator about to commit to MinE for overnight bulk transfers wants to
+// know what happens when things break: channels die mid-file, a DTN server
+// reboots, the path browns out, and the occasional file fails its checksum.
+// This example runs the same MinE transfer clean and through a fault storm,
+// once with GridFTP restart markers and once without, and reports the
+// robustness ledger — goodput vs wire throughput, retries, wasted joules,
+// downtime — that decides whether restart markers are worth enabling.
+#include <iostream>
+
+#include "exp/runner.hpp"
+#include "proto/faults.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eadt;
+
+  auto testbed = testbeds::xsede();
+  testbed.recipe.total_bytes = 8ULL * kGB;
+  const proto::Dataset dataset = testbed.make_dataset();
+  const int max_channels = 12;
+
+  // The storm: steady channel churn, one server reboot, a brownout window,
+  // and a small rate of integrity failures. Same seed for both drills so the
+  // only difference is the recovery policy.
+  proto::FaultPlan storm;
+  storm.stochastic.channel_drop_rate = 0.05;
+  storm.stochastic.checksum_failure_prob = 0.003;
+  storm.outages.push_back({/*source_side=*/true, /*server=*/0,
+                           /*start=*/15.0, /*duration=*/20.0});
+  storm.brownouts.push_back({/*start=*/45.0, /*duration=*/15.0,
+                             /*capacity_factor=*/0.4});
+  storm.seed = 42;
+
+  const auto run_mine = [&](const proto::FaultPlan& plan) {
+    return exp::run_algorithm(exp::Algorithm::kMinE, testbed, dataset,
+                              max_channels, {}, plan)
+        .result;
+  };
+
+  const auto clean = run_mine({});
+  auto with_markers = storm;
+  with_markers.retry.restart_markers = true;
+  auto legacy = storm;
+  legacy.retry.restart_markers = false;
+  const auto marked = run_mine(with_markers);
+  const auto full = run_mine(legacy);
+
+  std::cout << "Fault drill: MinE on " << testbed.env.name << ", cc="
+            << max_channels << "\n\n";
+
+  Table report({"run", "goodput Mbps", "wire Mbps", "Joules", "retries",
+                "wasted MB", "wasted J", "downtime s"});
+  const auto row = [&](const char* name, const proto::RunResult& r) {
+    const auto& f = r.faults;
+    report.add_row({name, Table::num(to_mbps(r.avg_goodput()), 0),
+                    Table::num(to_mbps(r.avg_throughput()), 0),
+                    Table::num(r.end_system_energy, 0),
+                    Table::num(double(f.retries), 0),
+                    Table::num(double(f.wasted_bytes) / double(kMB), 1),
+                    Table::num(f.wasted_joules, 0),
+                    Table::num(f.channel_downtime + f.server_downtime, 1)});
+  };
+  row("clean", clean);
+  row("storm + restart markers", marked);
+  row("storm, full retransmit", full);
+  report.render(std::cout);
+
+  const double marker_overhead =
+      (marked.end_system_energy - clean.end_system_energy) /
+      clean.end_system_energy * 100.0;
+  const double legacy_overhead =
+      (full.end_system_energy - clean.end_system_energy) /
+      clean.end_system_energy * 100.0;
+  std::cout << "\nEnergy overhead of the storm: "
+            << Table::num(marker_overhead, 1) << "% with restart markers, "
+            << Table::num(legacy_overhead, 1) << "% without.\n"
+            << "Restart markers resume interrupted files from their last "
+               "offset, so almost\nnothing is re-sent; legacy full-file "
+               "retransmission pays for every lost prefix\ntwice — in time "
+               "and in joules.\n";
+  return 0;
+}

@@ -57,8 +57,14 @@ proto::TransferPlan plan_htee(const proto::Environment& env,
 void HteeController::on_sample(proto::TransferSession& session,
                                const proto::SampleStats& stats) {
   if (!searching_) return;
+  // A dead window — zero duration, or zero throughput during an injected
+  // outage — carries no signal about the probe level. Evaluating it would
+  // record a bogus 0 ratio and advance the search; hold the probe instead
+  // and score the level on its next live window.
+  if (stats.duration() <= 0.0 || stats.bytes == 0) return;
   // Evaluate the probe that just ran.
   const double ratio = stats.throughput_per_joule();
+  if (!std::isfinite(ratio)) return;
   if (ratio > best_ratio_) {
     best_ratio_ = ratio;
     chosen_level_ = probe_level_;

@@ -24,60 +24,46 @@ std::vector<Algorithm> figure_algorithms() {
 
 RunOutcome run_algorithm(Algorithm algorithm, const testbeds::Testbed& testbed,
                          const proto::Dataset& dataset, int max_channels,
-                         proto::SessionConfig config) {
+                         proto::SessionConfig config, proto::FaultPlan faults) {
   RunOutcome out;
   out.algorithm = algorithm;
   out.concurrency = max_channels;
   out.chosen_concurrency = max_channels;
 
   const auto& env = testbed.env;
+  const auto execute = [&](proto::TransferPlan plan,
+                           proto::Controller* controller = nullptr) {
+    proto::TransferSession s(env, dataset, std::move(plan), config);
+    s.set_fault_plan(faults);
+    return s.run(controller);
+  };
   switch (algorithm) {
-    case Algorithm::kGuc: {
-      proto::TransferSession s(env, dataset, baselines::plan_guc(env, dataset), config);
-      out.result = s.run();
+    case Algorithm::kGuc:
+      out.result = execute(baselines::plan_guc(env, dataset));
       out.chosen_concurrency = 1;
       break;
-    }
-    case Algorithm::kGo: {
-      proto::TransferSession s(env, dataset, baselines::plan_go(env, dataset), config);
-      out.result = s.run();
+    case Algorithm::kGo:
+      out.result = execute(baselines::plan_go(env, dataset));
       out.chosen_concurrency = 2;
       break;
-    }
-    case Algorithm::kSc: {
-      proto::TransferSession s(env, dataset,
-                               baselines::plan_single_chunk(env, dataset, max_channels),
-                               config);
-      out.result = s.run();
+    case Algorithm::kSc:
+      out.result = execute(baselines::plan_single_chunk(env, dataset, max_channels));
       break;
-    }
-    case Algorithm::kMinE: {
-      proto::TransferSession s(env, dataset,
-                               core::plan_min_energy(env, dataset, max_channels), config);
-      out.result = s.run();
+    case Algorithm::kMinE:
+      out.result = execute(core::plan_min_energy(env, dataset, max_channels));
       break;
-    }
-    case Algorithm::kProMc: {
-      proto::TransferSession s(env, dataset,
-                               baselines::plan_promc(env, dataset, max_channels), config);
-      out.result = s.run();
+    case Algorithm::kProMc:
+      out.result = execute(baselines::plan_promc(env, dataset, max_channels));
       break;
-    }
     case Algorithm::kHtee: {
       core::HteeController controller(max_channels);
-      proto::TransferSession s(env, dataset, core::plan_htee(env, dataset, max_channels),
-                               config);
-      out.result = s.run(&controller);
+      out.result = execute(core::plan_htee(env, dataset, max_channels), &controller);
       out.chosen_concurrency = controller.chosen_level();
       break;
     }
-    case Algorithm::kBf: {
-      proto::TransferSession s(env, dataset,
-                               baselines::plan_brute_force(env, dataset, max_channels),
-                               config);
-      out.result = s.run();
+    case Algorithm::kBf:
+      out.result = execute(baselines::plan_brute_force(env, dataset, max_channels));
       break;
-    }
   }
   return out;
 }
@@ -95,7 +81,8 @@ double SlaOutcome::shortfall_percent() const {
 
 SlaOutcome run_slaee(const testbeds::Testbed& testbed, const proto::Dataset& dataset,
                      double target_percent, BitsPerSecond max_throughput,
-                     int max_channels, proto::SessionConfig config) {
+                     int max_channels, proto::SessionConfig config,
+                     proto::FaultPlan faults) {
   SlaOutcome out;
   out.target_percent = target_percent;
   out.target_throughput = max_throughput * target_percent / 100.0;
@@ -103,6 +90,7 @@ SlaOutcome run_slaee(const testbeds::Testbed& testbed, const proto::Dataset& dat
   core::SlaeeController controller(out.target_throughput, max_channels);
   proto::TransferSession session(
       testbed.env, dataset, core::plan_slaee(testbed.env, dataset, max_channels), config);
+  session.set_fault_plan(std::move(faults));
   out.result = session.run(&controller);
   out.final_concurrency = controller.final_level();
   out.rearranged = controller.rearranged();

@@ -33,10 +33,12 @@ struct RunOutcome {
 
 /// Run `algorithm` at user concurrency `max_channels`.
 /// GUC and GO ignore `max_channels` (untunable), as in the paper.
+/// `faults` injects a failure workload; the default plan is inert.
 [[nodiscard]] RunOutcome run_algorithm(Algorithm algorithm,
                                        const testbeds::Testbed& testbed,
                                        const proto::Dataset& dataset, int max_channels,
-                                       proto::SessionConfig config = {});
+                                       proto::SessionConfig config = {},
+                                       proto::FaultPlan faults = {});
 
 struct SlaOutcome {
   double target_percent = 0.0;         ///< requested % of max throughput
@@ -59,7 +61,8 @@ struct SlaOutcome {
 [[nodiscard]] SlaOutcome run_slaee(const testbeds::Testbed& testbed,
                                    const proto::Dataset& dataset, double target_percent,
                                    BitsPerSecond max_throughput, int max_channels,
-                                   proto::SessionConfig config = {});
+                                   proto::SessionConfig config = {},
+                                   proto::FaultPlan faults = {});
 
 /// The concurrency levels the figures sweep.
 [[nodiscard]] std::vector<int> figure_concurrency_levels();  // {1,2,4,6,8,10,12}

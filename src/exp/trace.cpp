@@ -13,13 +13,16 @@ void TickRecorder::on_tick(const proto::TickTrace& trace) {
 }
 
 void TickRecorder::write_csv(std::ostream& os) const {
-  Table t({"time_s", "goodput_mbps", "power_w", "open_channels", "busy_channels"});
+  Table t({"time_s", "goodput_mbps", "power_w", "open_channels", "busy_channels",
+           "down_channels", "path_factor"});
   for (const auto& trace : traces_) {
     int busy = 0;
     for (const auto& ch : trace.channels) busy += ch.busy ? 1 : 0;
     t.add_row({Table::num(trace.time, 2), Table::num(to_mbps(trace.goodput), 1),
                Table::num(trace.end_system_power, 1),
-               std::to_string(trace.open_channels), std::to_string(busy)});
+               std::to_string(trace.open_channels), std::to_string(busy),
+               std::to_string(trace.down_channels),
+               Table::num(trace.path_capacity_factor, 2)});
   }
   t.render_csv(os);
 }

@@ -23,7 +23,7 @@ class TickRecorder final : public proto::SessionObserver {
   }
   [[nodiscard]] std::size_t ticks_seen() const noexcept { return seen_; }
 
-  /// time_s,goodput_mbps,power_w,open_channels,busy_channels
+  /// time_s,goodput_mbps,power_w,open_channels,busy_channels,down_channels,path_factor
   void write_csv(std::ostream& os) const;
 
  private:

@@ -1,0 +1,44 @@
+#include "proto/faults.hpp"
+
+#include <cmath>
+
+namespace eadt::proto {
+
+FaultInjector::FaultInjector(sim::Simulation& sim, const FaultPlan& plan,
+                             FaultHost& host)
+    : sim_(sim), plan_(plan), host_(host),
+      arrival_rng_(Rng(plan.seed).fork("fault-arrivals")) {}
+
+void FaultInjector::arm() {
+  for (const auto& d : plan_.channel_drops) {
+    sim_.schedule_at(d.time, [this, d] { host_.fault_drop_channel(d.channel); });
+  }
+  for (const auto& o : plan_.outages) {
+    sim_.schedule_at(o.start, [this, o] {
+      host_.fault_server_state(o.source_side, o.server, /*up=*/false);
+    });
+    sim_.schedule_at(o.start + o.duration, [this, o] {
+      host_.fault_server_state(o.source_side, o.server, /*up=*/true);
+    });
+  }
+  for (const auto& b : plan_.brownouts) {
+    sim_.schedule_at(b.start, [this, b] { host_.fault_path_factor(b.capacity_factor); });
+    sim_.schedule_at(b.start + b.duration, [this] { host_.fault_path_factor(1.0); });
+  }
+  if (plan_.stochastic.channel_drop_rate > 0.0) schedule_next_stochastic_drop();
+}
+
+void FaultInjector::schedule_next_stochastic_drop() {
+  // Poisson arrivals: exponential inter-arrival times. The chain re-arms
+  // itself after every firing, so the arrival process runs for the whole
+  // simulation; drops that find no live channel are simply absorbed by the
+  // host as no-ops.
+  const double u = arrival_rng_.uniform01();
+  const Seconds gap = -std::log(1.0 - u) / plan_.stochastic.channel_drop_rate;
+  sim_.schedule_after(gap, [this] {
+    host_.fault_drop_channel(-1);
+    schedule_next_stochastic_drop();
+  });
+}
+
+}  // namespace eadt::proto

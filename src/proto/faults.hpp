@@ -1,0 +1,144 @@
+// Deterministic fault injection for the transfer engine.
+//
+// Real DTN-to-DTN transfers on XSEDE/FutureGrid-class links are not
+// failure-free: data channels stall and die, whole DTN servers drop out for
+// maintenance or crash, paths brown out under cross-traffic, and end-to-end
+// checksums occasionally reject a landed file. A FaultPlan describes such a
+// failure workload — scheduled events plus seeded-stochastic ones — and a
+// FaultInjector replays it off the sim::Simulation event queue, calling back
+// into the engine through the narrow FaultHost interface.
+//
+// Determinism: every stochastic element (Poisson drop arrivals, victim
+// selection, backoff jitter, checksum verdicts) draws from named forks of a
+// single Rng seeded from FaultPlan::seed, so a (environment, dataset, plan,
+// fault plan) tuple is bit-reproducible. A default-constructed FaultPlan is
+// inert: the engine takes exactly the code paths it took before this
+// subsystem existed and produces byte-identical results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace eadt::proto {
+
+/// Kill one open data channel at an absolute simulated time. The channel's
+/// in-flight file is requeued (see RetryPolicy) and the channel re-opens
+/// after backoff.
+struct ChannelDropEvent {
+  Seconds time = 0.0;
+  /// Index into the list of live channels at fire time (taken modulo the
+  /// live count); -1 picks a seeded-uniform victim.
+  int channel = -1;
+};
+
+/// Take one DTN server out of service for a window. Channels placed on it
+/// are re-placed onto surviving servers of the same side; if none survive
+/// they strand until a server recovers.
+struct ServerOutageEvent {
+  bool source_side = true;
+  std::size_t server = 0;
+  Seconds start = 0.0;
+  Seconds duration = 0.0;
+};
+
+/// Path brownout: the shared link's capacity drops to `capacity_factor` of
+/// nominal for the window (windows should not overlap).
+struct PathBrownoutEvent {
+  Seconds start = 0.0;
+  Seconds duration = 0.0;
+  double capacity_factor = 0.5;
+};
+
+/// Seeded-stochastic background failures.
+struct StochasticFaults {
+  /// Poisson arrival rate of channel kills, in drops per simulated second
+  /// across the whole session (victims are picked seeded-uniform).
+  double channel_drop_rate = 0.0;
+  /// Probability that a fully landed file fails its end-to-end checksum and
+  /// must be retransmitted from scratch.
+  double checksum_failure_prob = 0.0;
+};
+
+/// How the engine recovers a failed channel.
+struct RetryPolicy {
+  /// GridFTP restart markers: a requeued file resumes from its last byte
+  /// offset. false = legacy whole-file retransmission (the already-moved
+  /// prefix is wasted and re-sent).
+  bool restart_markers = true;
+  Seconds backoff_initial = 1.0;      ///< first reconnect delay
+  double backoff_multiplier = 2.0;    ///< exponential growth per consecutive failure
+  Seconds backoff_max = 30.0;         ///< backoff ceiling
+  double backoff_jitter = 0.1;        ///< +/- fraction of seeded jitter per delay
+  /// Consecutive failures (without an intervening completed file) a channel
+  /// slot may absorb before it is quarantined — closed for good, shrinking
+  /// the effective concurrency by one (never below one).
+  int channel_retry_budget = 6;
+};
+
+struct FaultPlan {
+  std::vector<ChannelDropEvent> channel_drops;
+  std::vector<ServerOutageEvent> outages;
+  std::vector<PathBrownoutEvent> brownouts;
+  StochasticFaults stochastic;
+  RetryPolicy retry;
+  std::uint64_t seed = 1;
+
+  /// An inactive plan injects nothing and leaves the engine byte-identical
+  /// to a run without a fault plan at all.
+  [[nodiscard]] bool active() const noexcept {
+    return !channel_drops.empty() || !outages.empty() || !brownouts.empty() ||
+           stochastic.channel_drop_rate > 0.0 ||
+           stochastic.checksum_failure_prob > 0.0;
+  }
+};
+
+/// Robustness accounting accumulated over a run (RunResult::faults).
+struct FaultStats {
+  std::int64_t retries = 0;             ///< files resumed or retransmitted after a fault
+  std::int64_t channel_drops = 0;       ///< channel-kill events absorbed
+  std::int64_t checksum_failures = 0;   ///< landed files rejected by verification
+  std::int64_t server_outages = 0;      ///< outage windows that hit the run
+  std::int64_t quarantined_channels = 0;
+  Bytes wasted_bytes = 0;     ///< bytes moved more than once (lost prefixes, re-sent files)
+  Joules wasted_joules = 0.0; ///< end-system energy attributed to wasted bytes
+  Seconds channel_downtime = 0.0;  ///< channel-slot seconds spent in backoff / stranded
+  Seconds server_downtime = 0.0;   ///< server seconds out of service during the run
+};
+
+/// The engine half of the injection contract; TransferSession implements it.
+class FaultHost {
+ public:
+  virtual ~FaultHost() = default;
+  /// Kill a live channel (`index` as in ChannelDropEvent::channel).
+  virtual void fault_drop_channel(int index) = 0;
+  /// Mark one server down/up and displace / re-admit its channels.
+  virtual void fault_server_state(bool source_side, std::size_t server, bool up) = 0;
+  /// Scale the shared path capacity (1.0 = nominal).
+  virtual void fault_path_factor(double factor) = 0;
+};
+
+/// Replays a FaultPlan onto a FaultHost via the simulation event queue.
+/// Construct once per run, then arm() before the first tick; the injector
+/// must outlive the simulation run.
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulation& sim, const FaultPlan& plan, FaultHost& host);
+
+  /// Schedule every plan event (and the first stochastic arrival).
+  void arm();
+
+ private:
+  void schedule_next_stochastic_drop();
+
+  sim::Simulation& sim_;
+  const FaultPlan& plan_;
+  FaultHost& host_;
+  Rng arrival_rng_;
+};
+
+}  // namespace eadt::proto

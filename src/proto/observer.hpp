@@ -23,6 +23,7 @@ struct ChannelTrace {
   bool busy = false;
   BitsPerSecond rate = 0.0;  ///< allocated burst rate this tick
   Bytes moved = 0;           ///< bytes actually moved this tick
+  bool down = false;         ///< failed; waiting out reconnect backoff
 };
 
 struct TickTrace {
@@ -30,6 +31,8 @@ struct TickTrace {
   BitsPerSecond goodput = 0.0;    ///< aggregate bytes moved / tick
   Watts end_system_power = 0.0;   ///< both endpoints, this tick
   int open_channels = 0;
+  int down_channels = 0;            ///< channels in failure backoff this tick
+  double path_capacity_factor = 1.0;  ///< < 1 during an injected brownout
   std::vector<ChannelTrace> channels;
 };
 

@@ -7,6 +7,7 @@
 // channels are placed across a site's DTN servers.
 #pragma once
 
+#include <cmath>
 #include <optional>
 #include <vector>
 
@@ -63,9 +64,11 @@ struct TransferPlan {
 struct SampleStats {
   Seconds window_start = 0.0;
   Seconds window_end = 0.0;
-  Bytes bytes = 0;
+  Bytes bytes = 0;  ///< wire bytes this window (fault retransmissions included)
   Joules end_system_energy = 0.0;
   int active_channels = 0;
+  Bytes wasted_bytes = 0;  ///< bytes charged to faults this window
+  int down_channels = 0;   ///< channels in failure backoff at window end
 
   [[nodiscard]] Seconds duration() const { return window_end - window_start; }
   [[nodiscard]] BitsPerSecond throughput() const {
@@ -73,8 +76,12 @@ struct SampleStats {
     return d > 0.0 ? to_bits(bytes) / d : 0.0;
   }
   /// The paper's energy-efficiency metric: throughput per unit energy.
+  /// Guarded so a dead window (zero duration or zero energy during a total
+  /// outage) reads 0 instead of NaN/inf.
   [[nodiscard]] double throughput_per_joule() const {
-    return end_system_energy > 0.0 ? throughput() / end_system_energy : 0.0;
+    if (end_system_energy <= 0.0) return 0.0;
+    const double r = throughput() / end_system_energy;
+    return std::isfinite(r) ? r : 0.0;
   }
 };
 

@@ -43,7 +43,7 @@ TransferSession::TransferSession(const Environment& env, const Dataset& dataset,
       }
     }
     for (const auto& [size, id] : order) {
-      queues_[c].push_back({id, size});
+      queues_[c].push_back({id, size, size});
       chunk_remaining_[c] += size;
       total_bytes_ += size;
     }
@@ -59,6 +59,18 @@ TransferSession::TransferSession(const Environment& env, const Dataset& dataset,
   }
   for (const auto& s : env_.source.servers) src_energy_.push_back({s.name, 0.0, 0.0});
   for (const auto& s : env_.destination.servers) dst_energy_.push_back({s.name, 0.0, 0.0});
+  src_srv_up_.assign(env_.source.servers.size(), 1);
+  dst_srv_up_.assign(env_.destination.servers.size(), 1);
+  src_srv_down_since_.assign(env_.source.servers.size(), 0.0);
+  dst_srv_down_since_.assign(env_.destination.servers.size(), 0.0);
+}
+
+void TransferSession::set_fault_plan(FaultPlan plan) {
+  faults_ = std::move(plan);
+  const Rng root(faults_.seed);
+  victim_rng_ = root.fork("victims");
+  backoff_rng_ = root.fork("backoff");
+  checksum_rng_ = root.fork("checksum");
 }
 
 Seconds TransferSession::now() const noexcept { return sim_.now(); }
@@ -84,7 +96,7 @@ bool TransferSession::chunk_live(int chunk) const {
 std::vector<int> TransferSession::desired_allocation() const {
   const std::size_t n_chunks = plan_.chunks.size();
   std::vector<int> desired(n_chunks, 0);
-  const int total = std::max(1, target_concurrency_);
+  const int total = effective_concurrency();
 
   std::vector<int> busy_count(n_chunks, 0);
   for (const auto& ch : channels_) {
@@ -194,15 +206,41 @@ void TransferSession::assign_channel(Channel& ch, int chunk) {
   ch.cold = true;  // a (re)assigned channel ramps its window from scratch
 }
 
+bool TransferSession::server_up(bool source_side, std::size_t server) const {
+  const auto& ups = source_side ? src_srv_up_ : dst_srv_up_;
+  return server < ups.size() ? ups[server] != 0 : true;
+}
+
+std::optional<std::size_t> TransferSession::pick_server(bool source_side) {
+  const std::size_t n = source_side ? env_.source.servers.size()
+                                    : env_.destination.servers.size();
+  if (n == 0) return std::size_t{0};  // degenerate config; preserve old behaviour
+  if (plan_.placement == Placement::kPacked) {
+    for (std::size_t s = 0; s < n; ++s) {
+      if (server_up(source_side, s)) return s;
+    }
+    return std::nullopt;
+  }
+  std::size_t& cursor = source_side ? rr_src_ : rr_dst_;
+  for (std::size_t tries = 0; tries < n; ++tries) {
+    const std::size_t s = cursor++ % n;
+    if (server_up(source_side, s)) return s;
+  }
+  return std::nullopt;
+}
+
 void TransferSession::open_channel(int chunk) {
   Channel ch;
   assign_channel(ch, chunk);
-  if (plan_.placement == Placement::kPacked) {
-    ch.src_server = 0;
-    ch.dst_server = 0;
-  } else {
-    ch.src_server = rr_src_++ % std::max<std::size_t>(1, env_.source.servers.size());
-    ch.dst_server = rr_dst_++ % std::max<std::size_t>(1, env_.destination.servers.size());
+  const auto src = pick_server(true);
+  const auto dst = pick_server(false);
+  ch.src_server = src.value_or(0);
+  ch.dst_server = dst.value_or(0);
+  if (!src || !dst) {
+    // The whole side is down: the channel strands until a recovery event.
+    ch.down = true;
+    ch.stranded = true;
+    ch.down_since = sim_.now();
   }
   channels_.push_back(ch);
 }
@@ -215,6 +253,141 @@ void TransferSession::close_channel(std::size_t idx) {
     queues_[static_cast<std::size_t>(ch.chunk)].push_front(ch.work);
   }
   channels_.erase(channels_.begin() + static_cast<std::ptrdiff_t>(idx));
+}
+
+void TransferSession::charge_waste(Bytes lost) {
+  if (lost == 0) return;
+  fault_stats_.wasted_bytes += lost;
+  window_wasted_ += lost;
+  // Attribute energy at the run's average end-system cost per wire byte so
+  // far — the marginal cost of the bytes that now have to move again.
+  if (bytes_moved_ > 0 && end_system_total_ > 0.0) {
+    fault_stats_.wasted_joules += static_cast<double>(lost) * end_system_total_ /
+                                  static_cast<double>(bytes_moved_);
+  }
+}
+
+void TransferSession::requeue_inflight(Channel& ch) {
+  if (ch.busy && ch.work.remaining > 0) {
+    auto& q = queues_[static_cast<std::size_t>(ch.chunk)];
+    if (faults_.retry.restart_markers) {
+      // Restart markers: the retry resumes from the last byte offset, so the
+      // already-moved prefix stays delivered and nothing is wasted.
+      q.push_front(ch.work);
+    } else {
+      // Legacy whole-file retransmission: the moved prefix is lost.
+      const Bytes lost = ch.work.size - ch.work.remaining;
+      charge_waste(lost);
+      chunk_remaining_[static_cast<std::size_t>(ch.chunk)] += lost;
+      q.push_front({ch.work.file_id, ch.work.size, ch.work.size});
+    }
+    ++fault_stats_.retries;
+  }
+  ch.busy = false;
+  ch.work = {};
+  ch.overhead_left = 0.0;
+  ch.rate = 0.0;
+}
+
+Seconds TransferSession::backoff_delay(int failures) {
+  const auto& r = faults_.retry;
+  Seconds d = r.backoff_initial *
+              std::pow(r.backoff_multiplier, static_cast<double>(std::max(0, failures - 1)));
+  d = std::min(d, r.backoff_max);
+  if (r.backoff_jitter > 0.0) {
+    d *= 1.0 + r.backoff_jitter * backoff_rng_.uniform(-1.0, 1.0);
+  }
+  return std::max(d, 0.0);
+}
+
+void TransferSession::fault_drop_channel(int index) {
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    if (!channels_[i].down) live.push_back(i);
+  }
+  if (live.empty()) return;  // nothing to kill; the drop dissipates
+  const std::size_t victim =
+      index >= 0 ? live[static_cast<std::size_t>(index) % live.size()]
+                 : live[victim_rng_.uniform_int(0, live.size() - 1)];
+  Channel& ch = channels_[victim];
+  ++fault_stats_.channel_drops;
+  requeue_inflight(ch);
+  ++ch.failures;
+  if (ch.failures > faults_.retry.channel_retry_budget) {
+    // Persistent failure: stop retrying this slot and run narrower. The
+    // effective concurrency never drops below one, so a fresh slot replaces
+    // the very last quarantined channel.
+    ++quarantined_;
+    ++fault_stats_.quarantined_channels;
+    channels_.erase(channels_.begin() + static_cast<std::ptrdiff_t>(victim));
+    return;
+  }
+  ch.down = true;
+  ch.cold = true;
+  ch.down_since = sim_.now();
+  ch.down_until = sim_.now() + backoff_delay(ch.failures);
+}
+
+void TransferSession::fault_server_state(bool source_side, std::size_t server, bool up) {
+  auto& ups = source_side ? src_srv_up_ : dst_srv_up_;
+  auto& since = source_side ? src_srv_down_since_ : dst_srv_down_since_;
+  if (server >= ups.size()) return;
+  if (!up) {
+    if (ups[server] == 0) return;
+    ups[server] = 0;
+    since[server] = sim_.now();
+    ++fault_stats_.server_outages;
+    // Displace every channel on the dead server. Server loss does not count
+    // against the channel's own retry budget — the slot did nothing wrong.
+    for (auto& ch : channels_) {
+      const std::size_t at = source_side ? ch.src_server : ch.dst_server;
+      if (at != server) continue;
+      requeue_inflight(ch);
+      if (!ch.down) ch.down_since = sim_.now();
+      ch.down = true;
+      ch.cold = true;
+      const auto repl = pick_server(source_side);
+      if (repl) {
+        (source_side ? ch.src_server : ch.dst_server) = *repl;
+        ch.down_until = std::max(ch.down_until, sim_.now() + backoff_delay(1));
+      } else {
+        ch.stranded = true;  // whole side down: wait for a recovery event
+      }
+    }
+  } else {
+    if (ups[server] != 0) return;
+    ups[server] = 1;
+    fault_stats_.server_downtime += sim_.now() - since[server];
+    // Re-admit stranded channels whose dead side just recovered.
+    for (auto& ch : channels_) {
+      if (!ch.stranded) continue;
+      if (!server_up(true, ch.src_server)) {
+        const auto s = pick_server(true);
+        if (!s) continue;
+        ch.src_server = *s;
+      }
+      if (!server_up(false, ch.dst_server)) {
+        const auto s = pick_server(false);
+        if (!s) continue;
+        ch.dst_server = *s;
+      }
+      ch.stranded = false;
+      ch.down_until = sim_.now() + backoff_delay(1);
+    }
+  }
+}
+
+void TransferSession::fault_path_factor(double factor) {
+  path_factor_ = std::max(0.0, factor);
+}
+
+void TransferSession::revive_channels() {
+  for (auto& ch : channels_) {
+    if (ch.down && !ch.stranded && sim_.now() >= ch.down_until) {
+      ch.down = false;
+      fault_stats_.channel_downtime += sim_.now() - ch.down_since;
+    }
+  }
 }
 
 void TransferSession::rebalance() {
@@ -236,7 +409,9 @@ void TransferSession::rebalance() {
       const bool want_busy = pass == 1;
       for (std::size_t i = 0; i < channels_.size() && surplus > 0; ++i) {
         auto& ch = channels_[i];
-        if (ch.chunk != static_cast<int>(c) || ch.busy != want_busy) continue;
+        // A down channel cannot be reassigned or closed: its connection is
+        // being re-established; it keeps its slot until it revives.
+        if (ch.down || ch.chunk != static_cast<int>(c) || ch.busy != want_busy) continue;
         if (std::find(free_slots.begin(), free_slots.end(), i) != free_slots.end()) continue;
         free_slots.push_back(i);
         --surplus;
@@ -309,6 +484,7 @@ void TransferSession::allocate_rates() {
   std::vector<int> src_procs(ns, 0), src_threads(ns, 0);
   std::vector<int> dst_procs(nd, 0), dst_threads(nd, 0);
   for (const auto& ch : channels_) {
+    if (ch.down) continue;  // a dead connection holds no server processes
     ++src_procs[ch.src_server];
     src_threads[ch.src_server] += ch.parallelism;
     ++dst_procs[ch.dst_server];
@@ -382,7 +558,8 @@ void TransferSession::allocate_rates() {
     aggregate_demand += caps[i];
   }
 
-  const BitsPerSecond capacity = path.available_bandwidth();
+  // Brownouts scale the shared link; 1.0 outside any fault window.
+  const BitsPerSecond capacity = path.available_bandwidth() * path_factor_;
   const auto shares = net::fair_share(capacity, demands);
   const double eff = net::congestion_efficiency(env_.congestion, aggregate_demand,
                                                 capacity, total_streams);
@@ -451,8 +628,21 @@ void TransferSession::advance_channels(Seconds dt) {
         bytes_moved_ += done;
         window_bytes_ += done;
         chunk_remaining_[static_cast<std::size_t>(ch.chunk)] -= done;
+        const QueueEntry landed = ch.work;
         ch.work = {};
         ch.busy = false;
+        ch.failures = 0;  // a landed file proves the slot healthy again
+        if (faults_.stochastic.checksum_failure_prob > 0.0 &&
+            checksum_rng_.uniform01() < faults_.stochastic.checksum_failure_prob) {
+          // End-to-end verification rejected the file: every byte of it was
+          // wasted and the whole file re-enters its queue.
+          ++fault_stats_.checksum_failures;
+          ++fault_stats_.retries;
+          charge_waste(landed.size);
+          chunk_remaining_[static_cast<std::size_t>(ch.chunk)] += landed.size;
+          queues_[static_cast<std::size_t>(ch.chunk)].push_back(
+              {landed.file_id, landed.size, landed.size});
+        }
         if (!pop_next_file(ch)) break;  // queue dry: channel idles
       } else {
         const Bytes moved = static_cast<Bytes>(can_move);
@@ -476,6 +666,7 @@ Joules TransferSession::account_energy(Seconds dt) {
     for (std::size_t s = 0; s < ep.servers.size(); ++s) {
       host::HostLoad load;
       for (const auto& ch : channels_) {
+        if (ch.down) continue;  // no process, no load, no power draw
         const std::size_t at = source_side ? ch.src_server : ch.dst_server;
         if (at != s) continue;
         ++load.processes;
@@ -512,35 +703,41 @@ bool TransferSession::finished() const {
 
 bool TransferSession::tick() {
   const Seconds dt = config_.tick;
+  if (faults_.active()) revive_channels();
 
   // Feed idle channels; if any chunk ran dry, rebalance and feed again.
+  // Down channels take no work until their backoff expires.
   bool dry = false;
   for (auto& ch : channels_) {
+    if (ch.down) continue;
     if (!ch.busy && !pop_next_file(ch)) dry = true;
   }
   const int open_now = static_cast<int>(channels_.size());
-  if (dry || open_now != target_concurrency_) {
+  if (dry || open_now != effective_concurrency()) {
     rebalance();
     for (auto& ch : channels_) {
-      if (!ch.busy) pop_next_file(ch);
+      if (!ch.busy && !ch.down) pop_next_file(ch);
     }
   }
 
   allocate_rates();
   advance_channels(dt);
   const Joules tick_energy = account_energy(dt);
+  end_system_total_ += tick_energy;
 
   if (observer_ != nullptr) {
     TickTrace trace;
     trace.time = sim_.now();
     trace.end_system_power = tick_energy / dt;
     trace.open_channels = static_cast<int>(channels_.size());
+    trace.path_capacity_factor = path_factor_;
     Bytes moved = 0;
     trace.channels.reserve(channels_.size());
     for (const auto& ch : channels_) {
       trace.channels.push_back({ch.chunk, ch.parallelism, ch.busy, ch.rate,
-                                ch.moved_this_tick});
+                                ch.moved_this_tick, ch.down});
       moved += ch.moved_this_tick;
+      trace.down_channels += ch.down ? 1 : 0;
     }
     trace.goodput = to_bits(moved) / dt;
     observer_->on_tick(trace);
@@ -556,12 +753,18 @@ bool TransferSession::tick() {
     s.window_end = t_end;
     s.bytes = window_bytes_;
     s.end_system_energy = window_energy_;
-    int active = 0;
-    for (const auto& ch : channels_) active += ch.busy ? 1 : 0;
+    s.wasted_bytes = window_wasted_;
+    int active = 0, down = 0;
+    for (const auto& ch : channels_) {
+      active += ch.busy ? 1 : 0;
+      down += ch.down ? 1 : 0;
+    }
     s.active_channels = active;
+    s.down_channels = down;
     samples_.push_back(s);
     window_start_ = t_end;
     window_bytes_ = 0;
+    window_wasted_ = 0;
     window_energy_ = 0.0;
     if (controller_ != nullptr && !done) controller_->on_sample(*this, s);
   }
@@ -577,6 +780,12 @@ RunResult TransferSession::run(Controller* controller) {
     controller_->on_start(*this);
   }
   rebalance();
+
+  if (faults_.active()) {
+    injector_ = std::make_unique<FaultInjector>(sim_, faults_,
+                                                *static_cast<FaultHost*>(this));
+    injector_->arm();
+  }
 
   Seconds finish_time = config_.max_sim_time;
   bool completed = false;
@@ -597,6 +806,23 @@ RunResult TransferSession::run(Controller* controller) {
   res.network_energy = network_energy_;
   res.final_concurrency = target_concurrency_;
   res.completed = completed;
+  // Close the books on anything still down when the run ended.
+  for (const auto& ch : channels_) {
+    if (ch.down && res.duration > ch.down_since) {
+      fault_stats_.channel_downtime += res.duration - ch.down_since;
+    }
+  }
+  for (std::size_t s = 0; s < src_srv_up_.size(); ++s) {
+    if (src_srv_up_[s] == 0 && res.duration > src_srv_down_since_[s]) {
+      fault_stats_.server_downtime += res.duration - src_srv_down_since_[s];
+    }
+  }
+  for (std::size_t s = 0; s < dst_srv_up_.size(); ++s) {
+    if (dst_srv_up_[s] == 0 && res.duration > dst_srv_down_since_[s]) {
+      fault_stats_.server_downtime += res.duration - dst_srv_down_since_[s];
+    }
+  }
+  res.faults = fault_stats_;
   res.samples = std::move(samples_);
   res.source_servers = src_energy_;
   res.destination_servers = dst_energy_;

@@ -19,12 +19,15 @@
 // runs of the same (environment, dataset, plan) are bit-identical.
 #pragma once
 
+#include <cmath>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "proto/environment.hpp"
+#include "proto/faults.hpp"
 #include "proto/observer.hpp"
 #include "proto/plan.hpp"
 #include "sim/simulation.hpp"
@@ -40,21 +43,35 @@ struct ServerEnergy {
 
 struct RunResult {
   Seconds duration = 0.0;
-  Bytes bytes = 0;
+  Bytes bytes = 0;  ///< wire bytes moved (includes fault retransmissions)
   Joules end_system_energy = 0.0;
   Joules network_energy = 0.0;
   int final_concurrency = 0;
   bool completed = false;  ///< false if the max-sim-time guard tripped
+  FaultStats faults;       ///< robustness accounting (all zero without faults)
   std::vector<SampleStats> samples;
   std::vector<ServerEnergy> source_servers;
   std::vector<ServerEnergy> destination_servers;
 
+  /// Unique file bytes durably delivered; equals the dataset size on a
+  /// completed run even when faults forced retransmissions.
+  [[nodiscard]] Bytes goodput_bytes() const {
+    return bytes >= faults.wasted_bytes ? bytes - faults.wasted_bytes : 0;
+  }
   [[nodiscard]] BitsPerSecond avg_throughput() const {
     return duration > 0.0 ? to_bits(bytes) / duration : 0.0;
   }
-  /// The paper's throughput/energy efficiency ratio.
+  /// Application-visible rate: wasted (re-sent) bytes excluded.
+  [[nodiscard]] BitsPerSecond avg_goodput() const {
+    return duration > 0.0 ? to_bits(goodput_bytes()) / duration : 0.0;
+  }
+  /// The paper's throughput/energy efficiency ratio. Guarded so degenerate
+  /// runs (zero duration, zero energy during a total outage) report 0
+  /// instead of NaN/inf.
   [[nodiscard]] double throughput_per_joule() const {
-    return end_system_energy > 0.0 ? avg_throughput() / end_system_energy : 0.0;
+    if (duration <= 0.0 || end_system_energy <= 0.0) return 0.0;
+    const double r = avg_throughput() / end_system_energy;
+    return std::isfinite(r) ? r : 0.0;
   }
 };
 
@@ -64,10 +81,15 @@ struct SessionConfig {
   Seconds max_sim_time = 7.0 * 24 * 3600;  ///< hard stop; flags !completed
 };
 
-class TransferSession {
+class TransferSession : private FaultHost {
  public:
   TransferSession(const Environment& env, const Dataset& dataset, TransferPlan plan,
                   SessionConfig config = {});
+
+  /// Install a failure workload; call before run(). A default-constructed
+  /// (inactive) plan — also the default — leaves the engine byte-identical
+  /// to the failure-free behaviour.
+  void set_fault_plan(FaultPlan plan);
 
   /// Run to completion (or the time guard). Controller may be null.
   [[nodiscard]] RunResult run(Controller* controller = nullptr);
@@ -91,6 +113,7 @@ class TransferSession {
   struct QueueEntry {
     std::uint32_t file_id = 0;
     Bytes remaining = 0;
+    Bytes size = 0;  ///< full file size (for whole-file retransmission)
   };
   struct Channel {
     int chunk = -1;
@@ -104,6 +127,12 @@ class TransferSession {
     Seconds overhead_left = 0.0;
     BitsPerSecond rate = 0.0;
     Bytes moved_this_tick = 0;
+    // --- failure state (inert without a fault plan) ---------------------
+    bool down = false;      ///< connection lost; waiting out backoff
+    bool stranded = false;  ///< down because a side has no live server
+    Seconds down_since = 0.0;
+    Seconds down_until = 0.0;
+    int failures = 0;  ///< consecutive faults on this slot (reset on completion)
   };
 
   void rebalance();
@@ -124,6 +153,26 @@ class TransferSession {
   [[nodiscard]] bool finished() const;
   bool tick();                               // one dt step; false when done
 
+  // --- failure-recovery machinery ---------------------------------------
+  void fault_drop_channel(int index) override;
+  void fault_server_state(bool source_side, std::size_t server, bool up) override;
+  void fault_path_factor(double factor) override;
+  /// Quarantine shrinks the channel pool; never below one.
+  [[nodiscard]] int effective_concurrency() const {
+    return std::max(1, target_concurrency_ - quarantined_);
+  }
+  [[nodiscard]] bool server_up(bool source_side, std::size_t server) const;
+  /// First live server (packed) / next live server round-robin (spread);
+  /// nullopt when the whole side is down.
+  [[nodiscard]] std::optional<std::size_t> pick_server(bool source_side);
+  /// Return a fault-interrupted in-flight file to its queue (resume offset
+  /// with restart markers, full retransmission otherwise).
+  void requeue_inflight(Channel& ch);
+  /// Exponential backoff with seeded jitter for the n-th consecutive failure.
+  [[nodiscard]] Seconds backoff_delay(int failures);
+  void charge_waste(Bytes lost);
+  void revive_channels();
+
   const Environment& env_;
   TransferPlan plan_;
   SessionConfig config_;
@@ -139,14 +188,25 @@ class TransferSession {
   Controller* controller_ = nullptr;
   SessionObserver* observer_ = nullptr;
   Bytes total_bytes_ = 0;
-  Bytes bytes_moved_ = 0;
+  Bytes bytes_moved_ = 0;  ///< wire bytes (retransmissions included)
   Joules network_energy_ = 0.0;
+  Joules end_system_total_ = 0.0;  ///< running total, for waste attribution
   std::vector<ServerEnergy> src_energy_, dst_energy_;
   // sampling window accumulators
   Seconds window_start_ = 0.0;
   Bytes window_bytes_ = 0;
+  Bytes window_wasted_ = 0;
   Joules window_energy_ = 0.0;
   std::vector<SampleStats> samples_;
+  // fault state
+  FaultPlan faults_;
+  std::unique_ptr<FaultInjector> injector_;
+  FaultStats fault_stats_;
+  Rng victim_rng_{1}, backoff_rng_{1}, checksum_rng_{1};  // reseeded by set_fault_plan
+  std::vector<char> src_srv_up_, dst_srv_up_;
+  std::vector<Seconds> src_srv_down_since_, dst_srv_down_since_;
+  double path_factor_ = 1.0;
+  int quarantined_ = 0;
 };
 
 }  // namespace eadt::proto

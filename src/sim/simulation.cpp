@@ -16,20 +16,47 @@ EventId Simulation::schedule_after(Seconds dt, std::function<void()> fn) {
   return schedule_at(now_ + std::max(dt, 0.0), std::move(fn));
 }
 
+struct Simulation::TickerState {
+  EventId current;
+  std::function<bool()> fn;
+  std::function<void()> rearm;
+};
+
 bool Simulation::cancel(EventId id) {
   if (!id.valid()) return false;
+  // A ticker id resolves to its *current* occurrence, so cancelling works
+  // even after the ticker has re-armed itself any number of times.
+  if (auto it = tickers_.find(id.seq); it != tickers_.end()) {
+    const EventId current = it->second->current;
+    tickers_.erase(it);
+    queue_.erase(Key{current.time, current.seq});
+    return true;
+  }
   return queue_.erase(Key{id.time, id.seq}) > 0;
 }
 
 EventId Simulation::add_ticker(Seconds interval, std::function<bool()> fn) {
-  // Self-rescheduling closure; the shared_ptr lets the lambda re-arm itself.
-  auto shared_fn = std::make_shared<std::function<bool()>>(std::move(fn));
-  std::function<void()> tick = [this, interval, shared_fn]() {
-    if ((*shared_fn)()) {
-      add_ticker(interval, *shared_fn);
+  // The re-arming closure captures only the registry key, never the state:
+  // ownership stays with tickers_, so cancel() can drop the whole ticker and
+  // any already-queued occurrence simply finds no entry and does nothing.
+  const std::uint64_t key = next_seq_;  // seq the first occurrence will get
+  auto state = std::make_shared<TickerState>();
+  state->fn = std::move(fn);
+  state->rearm = [this, interval, key]() {
+    const auto it = tickers_.find(key);
+    if (it == tickers_.end()) return;  // cancelled while this firing was queued
+    const auto st = it->second;
+    if (!st->fn()) {
+      tickers_.erase(key);
+      return;
+    }
+    if (tickers_.count(key) != 0) {  // fn may have cancelled its own ticker
+      st->current = schedule_after(interval, st->rearm);
     }
   };
-  return schedule_after(interval, std::move(tick));
+  tickers_.emplace(key, state);
+  state->current = schedule_after(interval, state->rearm);
+  return state->current;
 }
 
 bool Simulation::step() {

@@ -14,6 +14,7 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "util/units.hpp"
@@ -45,11 +46,10 @@ class Simulation {
   /// cancelled / the id is empty.
   bool cancel(EventId id);
 
-  /// Repeating event every `interval`; returns the id of the *first*
-  /// occurrence. The repetition stops when `fn` returns false.
-  /// NOTE: because each firing schedules the next one, cancelling with the
-  /// returned id only works before the first firing; use the callback's
-  /// return value to stop an in-flight ticker.
+  /// Repeating event every `interval`. The repetition stops when `fn`
+  /// returns false. The returned id tracks the *current* occurrence, so
+  /// cancel() stops the ticker at any point — before the first firing, from
+  /// outside, or from inside the callback itself.
   EventId add_ticker(Seconds interval, std::function<bool()> fn);
 
   /// Fire the next pending event. Returns false when the queue is empty.
@@ -63,9 +63,14 @@ class Simulation {
 
  private:
   using Key = std::pair<Seconds, std::uint64_t>;
+  struct TickerState;
+
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::map<Key, std::function<void()>> queue_;
+  /// Live tickers, keyed by the seq of their first occurrence (the id
+  /// add_ticker returned); the value tracks the currently queued occurrence.
+  std::map<std::uint64_t, std::shared_ptr<TickerState>> tickers_;
 };
 
 }  // namespace eadt::sim

@@ -108,6 +108,47 @@ TEST(Simulation, TickerIntervalIsRespected) {
   EXPECT_DOUBLE_EQ(times[2], 1.5);
 }
 
+TEST(Simulation, TickerCancelWorksMidFlight) {
+  // The id returned by add_ticker must stay valid across re-arms: cancelling
+  // after several firings stops the repetition (the old implementation only
+  // honoured a cancel issued before the first firing).
+  Simulation sim;
+  int ticks = 0;
+  const auto id = sim.add_ticker(1.0, [&] {
+    ++ticks;
+    return true;
+  });
+  sim.schedule_at(3.5, [&] { EXPECT_TRUE(sim.cancel(id)); });
+  sim.run_until(10.0);
+  EXPECT_EQ(ticks, 3);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_FALSE(sim.cancel(id));  // already cancelled
+}
+
+TEST(Simulation, TickerCancelFromInsideItsOwnCallback) {
+  Simulation sim;
+  EventId id{};
+  int ticks = 0;
+  id = sim.add_ticker(1.0, [&] {
+    if (++ticks == 2) EXPECT_TRUE(sim.cancel(id));
+    return true;  // the cancel must win over the "keep going" return value
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(Simulation, TickerCancelAfterSelfStopReturnsFalse) {
+  Simulation sim;
+  int ticks = 0;
+  const auto id = sim.add_ticker(1.0, [&] {
+    ++ticks;
+    return ticks < 2;
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(ticks, 2);
+  EXPECT_FALSE(sim.cancel(id));  // the series already ended on its own
+}
+
 TEST(Simulation, StepReturnsFalseWhenEmpty) {
   Simulation sim;
   EXPECT_FALSE(sim.step());
