@@ -3,8 +3,6 @@
 #include <algorithm>
 
 #include "baselines/baselines.hpp"
-#include "core/algorithms.hpp"
-#include "core/energy_budget.hpp"
 
 namespace eadt::exp {
 
@@ -34,50 +32,13 @@ TransferService::TransferService(testbeds::Testbed testbed, BitsPerSecond refere
 }
 
 JobOutcome TransferService::run_job(const TransferJob& job) const {
-  JobOutcome out;
-  out.name = job.name;
-  out.policy = job.policy;
-  const auto& env = testbed_.env;
-  const int cc = std::max(1, job.max_channels);
-
-  switch (job.policy) {
-    case JobPolicy::kDeadline: {
-      proto::TransferSession s(env, job.dataset,
-                               baselines::plan_promc(env, job.dataset, cc), config_);
-      out.result = s.run();
-      break;
-    }
-    case JobPolicy::kGreen: {
-      proto::TransferSession s(env, job.dataset,
-                               core::plan_min_energy(env, job.dataset, cc), config_);
-      out.result = s.run();
-      break;
-    }
-    case JobPolicy::kBalanced: {
-      core::HteeController ctl(cc);
-      proto::TransferSession s(env, job.dataset, core::plan_htee(env, job.dataset, cc),
-                               config_);
-      out.result = s.run(&ctl);
-      break;
-    }
-    case JobPolicy::kSla: {
-      const BitsPerSecond target = reference_rate_ * job.sla_percent / 100.0;
-      core::SlaeeController ctl(target, cc);
-      proto::TransferSession s(env, job.dataset, core::plan_slaee(env, job.dataset, cc),
-                               config_);
-      out.result = s.run(&ctl);
-      out.sla_met = out.result.avg_throughput() >= target * 0.93;  // paper's ~7 % band
-      break;
-    }
-    case JobPolicy::kEnergyBudget: {
-      core::EnergyBudgetController ctl(job.energy_budget, cc);
-      proto::TransferSession s(env, job.dataset,
-                               baselines::plan_promc(env, job.dataset, cc), config_);
-      out.result = s.run(&ctl);
-      break;
-    }
-  }
-  return out;
+  // Unsupervised services still run through the Supervisor with a single-shot
+  // policy: one attempt, no watchdog. That path is behaviourally identical to
+  // the legacy switch (same plans, same configs) but reports aborts honestly.
+  SupervisorPolicy policy =
+      supervisor_ ? *supervisor_ : SupervisorPolicy{0.0, 1, 1, 0.5, 1, false};
+  Supervisor supervisor(testbed_, reference_rate_, faults_, policy, config_);
+  return supervisor.run(job);
 }
 
 ServiceReport TransferService::run_queue(std::vector<TransferJob> jobs,
@@ -105,6 +66,8 @@ ServiceReport TransferService::run_queue(std::vector<TransferJob> jobs,
   ServiceReport report;
   report.reference_rate = reference_rate_;
   Seconds clock = 0.0;
+  double rate_fraction_sum = 0.0;
+  int completed_jobs = 0;
   for (const auto& job : jobs) {
     JobOutcome out = run_job(job);
     out.queued_at = clock;
@@ -118,9 +81,16 @@ ServiceReport TransferService::run_queue(std::vector<TransferJob> jobs,
     }
     report.total_bytes += out.result.bytes;
     report.total_energy += out.result.end_system_energy;
+    if (out.failed) {
+      ++report.failed_jobs;
+    } else if (reference_rate_ > 0.0) {
+      rate_fraction_sum += out.result.avg_throughput() / reference_rate_;
+      ++completed_jobs;
+    }
     report.jobs.push_back(std::move(out));
   }
   report.makespan = clock;
+  if (completed_jobs > 0) report.mean_rate_fraction = rate_fraction_sum / completed_jobs;
   return report;
 }
 

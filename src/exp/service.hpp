@@ -18,7 +18,9 @@
 
 #include <optional>
 
+#include "exp/supervisor.hpp"
 #include "power/tariff.hpp"
+#include "proto/faults.hpp"
 #include "proto/session.hpp"
 #include "testbeds/testbeds.hpp"
 
@@ -45,7 +47,13 @@ struct JobOutcome {
   Seconds queued_at = 0.0;   ///< service-timeline start
   Seconds finished_at = 0.0;
   proto::RunResult result;
-  bool sla_met = true;       ///< kSla only; true otherwise
+  /// True when the job never completed — its last attempt aborted (time
+  /// guard / watchdog) or refused to start. A failed job's rates are excluded
+  /// from the report's aggregate reference-rate math.
+  bool failed = false;
+  int attempts = 1;          ///< legs run (1 = no supervisor retry was needed)
+  RecoveryLog recovery;      ///< every supervision decision, in order
+  bool sla_met = true;       ///< kSla only (and only if completed); true otherwise
   double cost_usd = 0.0;     ///< 0 unless the service has a tariff
 
   [[nodiscard]] double throughput_mbps() const {
@@ -60,6 +68,11 @@ struct ServiceReport {
   Joules total_energy = 0.0;
   double total_cost_usd = 0.0;         ///< 0 unless the service has a tariff
   BitsPerSecond reference_rate = 0.0;  ///< the ProMC max SLA jobs are scored against
+  int failed_jobs = 0;                 ///< jobs whose last attempt still aborted
+  /// Mean achieved rate as a fraction of the reference, over *completed* jobs
+  /// only — an aborted run's clock-limited "rate" says nothing about the
+  /// service and would poison the aggregate.
+  double mean_rate_fraction = 0.0;
 };
 
 enum class QueueOrder {
@@ -89,6 +102,15 @@ class TransferService {
     queue_start_time_ = queue_start_time;
   }
 
+  /// Subject every job to this failure workload (default: none). The plan is
+  /// replayed per attempt — its event times are attempt-local.
+  void set_fault_plan(proto::FaultPlan faults) { faults_ = std::move(faults); }
+
+  /// Enable supervision: per-attempt deadline watchdogs, checkpointed
+  /// retries, and the degradation ladder (see exp::Supervisor). Without this
+  /// the service runs each job once and merely reports failures honestly.
+  void set_supervisor(SupervisorPolicy policy) { supervisor_ = policy; }
+
  private:
   [[nodiscard]] JobOutcome run_job(const TransferJob& job) const;
 
@@ -97,6 +119,8 @@ class TransferService {
   proto::SessionConfig config_;
   std::optional<power::Tariff> tariff_;
   Seconds queue_start_time_ = 0.0;
+  proto::FaultPlan faults_;
+  std::optional<SupervisorPolicy> supervisor_;
 };
 
 }  // namespace eadt::exp

@@ -1,0 +1,104 @@
+// Job supervision: watchdogs, checkpointed retries, and a degradation ladder.
+//
+// The TransferService's original contract treated every run as a success —
+// a job that tripped the engine's max-sim-time guard lost everything it had
+// moved and was still folded into the aggregate rates. The Supervisor gives
+// the service real failure semantics: each attempt runs under a deadline
+// watchdog; an aborted attempt leaves a TransferCheckpoint journal entry and
+// is resumed from it (landed bytes are never re-paid); repeated aborts step
+// the job down a degradation ladder — first lower `max_channels`, then a
+// policy fallback to kGreen (MinE's single-channel-biased minimum-energy
+// plan) — until the job completes or its retry budget is spent. Every
+// decision is recorded in a RecoveryLog attached to the JobOutcome, so a
+// provider can audit exactly how a transfer survived (or why it did not).
+//
+// This mirrors the online re-tuning loops of the paper's SLA discussion and
+// the GreenDataFlow-style re-optimisation under changing conditions: the
+// operating point is not fixed at submission, it is revised whenever the
+// observed conditions prove it untenable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "proto/checkpoint.hpp"
+#include "proto/faults.hpp"
+#include "proto/session.hpp"
+#include "testbeds/testbeds.hpp"
+#include "util/units.hpp"
+
+namespace eadt::exp {
+
+struct TransferJob;        // service.hpp
+struct JobOutcome;         // service.hpp
+enum class JobPolicy;      // service.hpp
+
+/// One kind of supervision decision.
+enum class RecoveryAction {
+  kResume,          ///< a new attempt started from the last checkpoint
+  kDeadlineAbort,   ///< the watchdog cut an attempt short; checkpoint taken
+  kReduceChannels,  ///< ladder step: lower concurrency
+  kPolicyFallback,  ///< ladder step: fall back to the kGreen operating point
+  kGiveUp,          ///< retry budget spent (or unrecoverable error): job failed
+};
+
+[[nodiscard]] const char* to_string(RecoveryAction action) noexcept;
+
+/// One audited supervision decision.
+struct RecoveryEvent {
+  Seconds at = 0.0;  ///< cumulative transfer seconds when the decision fell
+  int attempt = 0;   ///< 1-based attempt the decision belongs to
+  RecoveryAction action = RecoveryAction::kResume;
+  std::string policy;    ///< operating-point policy name after the decision
+  int max_channels = 0;  ///< operating-point channel cap after the decision
+  std::string detail;    ///< human-readable reason
+};
+
+struct RecoveryLog {
+  std::vector<RecoveryEvent> events;
+
+  [[nodiscard]] int count(RecoveryAction action) const noexcept;
+  /// True when the ladder stepped the job below its requested operating point.
+  [[nodiscard]] bool degraded() const noexcept;
+};
+
+/// Knobs of the supervision loop.
+struct SupervisorPolicy {
+  /// Watchdog: simulated seconds one attempt may run before it is aborted
+  /// and checkpointed. 0 leaves the session's own max_sim_time guard.
+  Seconds attempt_deadline = 0.0;
+  int max_attempts = 4;  ///< total attempts (first run included)
+  /// Aborts tolerated at one operating point before the ladder steps down.
+  int degrade_after = 1;
+  /// Channel-cap multiplier per kReduceChannels step (floored, min below).
+  double channel_step = 0.5;
+  int min_channels = 1;
+  /// Allow the final rung: fall back to kGreen once channels bottom out.
+  bool policy_fallback = true;
+};
+
+/// Runs one job to completion (or retry exhaustion) under the policy above.
+/// With `max_attempts = 1` and `attempt_deadline = 0` this is exactly the
+/// service's legacy single-shot execution, plus honest failure accounting.
+class Supervisor {
+ public:
+  Supervisor(const testbeds::Testbed& testbed, BitsPerSecond reference_rate,
+             proto::FaultPlan faults, SupervisorPolicy policy,
+             proto::SessionConfig base_config);
+
+  [[nodiscard]] JobOutcome run(const TransferJob& job) const;
+
+ private:
+  [[nodiscard]] proto::RunResult attempt(
+      const TransferJob& job, JobPolicy policy, int max_channels,
+      const proto::SessionConfig& config,
+      const proto::TransferCheckpoint* resume) const;
+
+  const testbeds::Testbed& testbed_;
+  BitsPerSecond reference_rate_ = 0.0;
+  proto::FaultPlan faults_;
+  SupervisorPolicy policy_;
+  proto::SessionConfig base_config_;
+};
+
+}  // namespace eadt::exp

@@ -18,6 +18,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "sim/simulation.hpp"
@@ -95,7 +97,23 @@ struct FaultPlan {
            stochastic.channel_drop_rate > 0.0 ||
            stochastic.checksum_failure_prob > 0.0;
   }
+
+  /// Sanity-check the plan: rejects negative rates/durations/times,
+  /// out-of-range probabilities and capacity factors, overlapping brownout
+  /// windows, and degenerate retry parameters (non-positive backoff
+  /// multiplier, jitter outside [0,1], negative retry budget). Returns a
+  /// human-readable reason, or nullopt when the plan is usable.
+  /// TransferSession::run() calls this before the first tick and refuses to
+  /// start on a malformed plan (RunResult::error carries the reason).
+  [[nodiscard]] std::optional<std::string> validate() const;
 };
+
+/// The n-th consecutive failure's reconnect delay: exponential growth from
+/// `backoff_initial`, capped at `backoff_max`, with seeded +/- jitter drawn
+/// from `rng`. Exposed as a free function so the schedule is unit-testable
+/// apart from a full session run.
+[[nodiscard]] Seconds retry_backoff_delay(const RetryPolicy& retry, int failures,
+                                          Rng& rng);
 
 /// Robustness accounting accumulated over a run (RunResult::faults).
 struct FaultStats {

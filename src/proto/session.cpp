@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "net/fair_share.hpp"
 #include "power/device.hpp"
@@ -20,7 +22,8 @@ bool size_desc(const std::pair<Bytes, std::uint32_t>& a,
 TransferSession::TransferSession(const Environment& env, const Dataset& dataset,
                                  TransferPlan plan, SessionConfig config)
     : env_(env), plan_(std::move(plan)), config_(config),
-      jitter_rng_(env.jitter_seed) {
+      jitter_rng_(env.jitter_seed),
+      dataset_fingerprint_(proto::dataset_fingerprint(dataset)) {
   queues_.resize(plan_.chunks.size());
   chunk_remaining_.assign(plan_.chunks.size(), 0);
   for (std::size_t c = 0; c < plan_.chunks.size(); ++c) {
@@ -73,10 +76,126 @@ void TransferSession::set_fault_plan(FaultPlan plan) {
   checksum_rng_ = root.fork("checksum");
 }
 
+TransferCheckpoint TransferSession::make_checkpoint() const {
+  TransferCheckpoint c;
+  // The run() guard can leave the event clock a fraction of a tick past the
+  // deadline; clamp so resumed legs' time offsets chain consistently.
+  c.taken_at = time_offset_ + std::min(sim_.now(), config_.max_sim_time);
+  c.dataset_fingerprint = dataset_fingerprint_;
+  c.wire_bytes = bytes_moved_;
+  c.end_system_energy = end_system_total_;
+  c.network_energy = network_energy_;
+  c.faults = fault_stats_;
+  c.quarantined_channels = quarantined_;
+
+  // Durable progress, keyed by file id: anything still queued or in flight is
+  // pending; every other file of the plan has fully landed. The in-flight
+  // prefix counts as delivered — the journal *is* the restart-marker store.
+  std::unordered_map<std::uint32_t, const QueueEntry*> pending;
+  for (const auto& q : queues_) {
+    for (const auto& e : q) pending.emplace(e.file_id, &e);
+  }
+  for (const auto& ch : channels_) {
+    if (ch.busy) pending.emplace(ch.work.file_id, &ch.work);
+  }
+  for (const auto& chunk : plan_.chunks) {
+    for (const std::uint32_t id : chunk.file_ids) {
+      const auto it = pending.find(id);
+      if (it == pending.end()) {
+        c.completed.push_back(id);
+      } else if (it->second->remaining < it->second->size) {
+        c.partial.push_back({id, it->second->size - it->second->remaining});
+      }
+    }
+  }
+  std::sort(c.completed.begin(), c.completed.end());
+  std::sort(c.partial.begin(), c.partial.end(),
+            [](const FileCursor& a, const FileCursor& b) { return a.file_id < b.file_id; });
+
+  for (const auto& ch : channels_) c.channel_chunks.push_back(ch.chunk);
+  for (const auto& s : src_energy_) c.source_servers.push_back({s.name, s.joules, s.active_time});
+  for (const auto& s : dst_energy_) {
+    c.destination_servers.push_back({s.name, s.joules, s.active_time});
+  }
+  c.jitter_rng = jitter_rng_.state();
+  c.victim_rng = victim_rng_.state();
+  c.backoff_rng = backoff_rng_.state();
+  c.checksum_rng = checksum_rng_.state();
+  return c;
+}
+
+bool TransferSession::resume_from(const TransferCheckpoint& checkpoint,
+                                  std::string* error) {
+  const auto fail = [error](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  if (checkpoint.dataset_fingerprint != dataset_fingerprint_) {
+    return fail("checkpoint was taken against a different dataset "
+                "(fingerprint mismatch)");
+  }
+  if (checkpoint.source_servers.size() != src_energy_.size() ||
+      checkpoint.destination_servers.size() != dst_energy_.size()) {
+    return fail("checkpoint server ledgers do not match this environment");
+  }
+
+  std::unordered_set<std::uint32_t> completed(checkpoint.completed.begin(),
+                                              checkpoint.completed.end());
+  std::unordered_map<std::uint32_t, Bytes> delivered;
+  for (const auto& cur : checkpoint.partial) delivered.emplace(cur.file_id, cur.delivered);
+
+  // Rebuild the residual workload in place: landed files leave their queues,
+  // partially delivered files shrink to their unlanded suffix. QueueEntry
+  // keeps the full size, so per-file overheads and legacy full-retransmission
+  // waste still see the real file.
+  for (std::size_t c = 0; c < queues_.size(); ++c) {
+    std::deque<QueueEntry> residual;
+    for (auto& e : queues_[c]) {
+      if (completed.count(e.file_id) != 0) {
+        chunk_remaining_[c] -= e.remaining;
+        continue;
+      }
+      if (const auto it = delivered.find(e.file_id); it != delivered.end()) {
+        const Bytes landed = std::min(it->second, e.remaining);
+        e.remaining -= landed;
+        chunk_remaining_[c] -= landed;
+        if (e.remaining == 0) continue;  // cursor at EOF: effectively landed
+      }
+      residual.push_back(e);
+    }
+    queues_[c] = std::move(residual);
+  }
+
+  bytes_moved_ = checkpoint.wire_bytes;
+  end_system_total_ = checkpoint.end_system_energy;
+  network_energy_ = checkpoint.network_energy;
+  fault_stats_ = checkpoint.faults;
+  quarantined_ = checkpoint.quarantined_channels;
+  for (std::size_t s = 0; s < src_energy_.size(); ++s) {
+    src_energy_[s].joules = checkpoint.source_servers[s].joules;
+    src_energy_[s].active_time = checkpoint.source_servers[s].active_time;
+  }
+  for (std::size_t s = 0; s < dst_energy_.size(); ++s) {
+    dst_energy_[s].joules = checkpoint.destination_servers[s].joules;
+    dst_energy_[s].active_time = checkpoint.destination_servers[s].active_time;
+  }
+  // Continue the stochastic history instead of replaying it (set_fault_plan
+  // reseeded these; resume must run after it).
+  jitter_rng_.restore(checkpoint.jitter_rng);
+  victim_rng_.restore(checkpoint.victim_rng);
+  backoff_rng_.restore(checkpoint.backoff_rng);
+  checksum_rng_.restore(checkpoint.checksum_rng);
+  time_offset_ = checkpoint.taken_at;
+  return true;
+}
+
 Seconds TransferSession::now() const noexcept { return sim_.now(); }
 
 Bytes TransferSession::bytes_remaining() const noexcept {
-  return total_bytes_ - bytes_moved_;
+  // Clamped: wire bytes include fault retransmissions, so under heavy waste
+  // (or after a resume restored a prior leg's wire total) moved can pass the
+  // dataset size before the last unique byte lands.
+  return bytes_moved_ >= total_bytes_ ? 0 : total_bytes_ - bytes_moved_;
 }
 
 void TransferSession::set_total_concurrency(int n) {
@@ -290,14 +409,7 @@ void TransferSession::requeue_inflight(Channel& ch) {
 }
 
 Seconds TransferSession::backoff_delay(int failures) {
-  const auto& r = faults_.retry;
-  Seconds d = r.backoff_initial *
-              std::pow(r.backoff_multiplier, static_cast<double>(std::max(0, failures - 1)));
-  d = std::min(d, r.backoff_max);
-  if (r.backoff_jitter > 0.0) {
-    d *= 1.0 + r.backoff_jitter * backoff_rng_.uniform(-1.0, 1.0);
-  }
-  return std::max(d, 0.0);
+  return retry_backoff_delay(faults_.retry, failures, backoff_rng_);
 }
 
 void TransferSession::fault_drop_channel(int index) {
@@ -725,6 +837,12 @@ bool TransferSession::tick() {
   const Joules tick_energy = account_energy(dt);
   end_system_total_ += tick_energy;
 
+  if (checkpoint_sink_ && config_.checkpoint_interval > 0.0 &&
+      sim_.now() - last_checkpoint_ >= config_.checkpoint_interval - 1e-9) {
+    last_checkpoint_ = sim_.now();
+    checkpoint_sink_(make_checkpoint());
+  }
+
   if (observer_ != nullptr) {
     TickTrace trace;
     trace.time = sim_.now();
@@ -749,8 +867,10 @@ bool TransferSession::tick() {
   const bool done = finished();
   if (t_end - window_start_ >= config_.sample_interval - 1e-9 || done) {
     SampleStats s;
-    s.window_start = window_start_;
-    s.window_end = t_end;
+    // Windows are reported in absolute transfer time: a resumed leg's first
+    // window starts where the interrupted run's checkpoint left off.
+    s.window_start = time_offset_ + window_start_;
+    s.window_end = time_offset_ + t_end;
     s.bytes = window_bytes_;
     s.end_system_energy = window_energy_;
     s.wasted_bytes = window_wasted_;
@@ -772,6 +892,12 @@ bool TransferSession::tick() {
 }
 
 RunResult TransferSession::run(Controller* controller) {
+  if (auto bad = faults_.validate()) {
+    RunResult refused;
+    refused.completed = false;
+    refused.error = "invalid FaultPlan: " + *bad;
+    return refused;
+  }
   controller_ = controller;
   if (controller_ != nullptr) {
     if (const auto init = controller_->initial_concurrency(); init) {
@@ -800,29 +926,37 @@ RunResult TransferSession::run(Controller* controller) {
   });
   sim_.run_until(config_.max_sim_time + config_.tick);
 
+  // Down-since stamps are in this leg's local clock; close the books before
+  // adding the resume offset to the reported duration.
+  const Seconds local_end = completed ? finish_time : config_.max_sim_time;
   RunResult res;
-  res.duration = completed ? finish_time : config_.max_sim_time;
+  res.duration = time_offset_ + local_end;
   res.bytes = bytes_moved_;
   res.network_energy = network_energy_;
   res.final_concurrency = target_concurrency_;
   res.completed = completed;
   // Close the books on anything still down when the run ended.
   for (const auto& ch : channels_) {
-    if (ch.down && res.duration > ch.down_since) {
-      fault_stats_.channel_downtime += res.duration - ch.down_since;
+    if (ch.down && local_end > ch.down_since) {
+      fault_stats_.channel_downtime += local_end - ch.down_since;
     }
   }
   for (std::size_t s = 0; s < src_srv_up_.size(); ++s) {
-    if (src_srv_up_[s] == 0 && res.duration > src_srv_down_since_[s]) {
-      fault_stats_.server_downtime += res.duration - src_srv_down_since_[s];
+    if (src_srv_up_[s] == 0 && local_end > src_srv_down_since_[s]) {
+      fault_stats_.server_downtime += local_end - src_srv_down_since_[s];
     }
   }
   for (std::size_t s = 0; s < dst_srv_up_.size(); ++s) {
-    if (dst_srv_up_[s] == 0 && res.duration > dst_srv_down_since_[s]) {
-      fault_stats_.server_downtime += res.duration - dst_srv_down_since_[s];
+    if (dst_srv_up_[s] == 0 && local_end > dst_srv_down_since_[s]) {
+      fault_stats_.server_downtime += local_end - dst_srv_down_since_[s];
     }
   }
   res.faults = fault_stats_;
+  if (!completed) {
+    // The abort checkpoint: the journal entry a supervisor resumes from.
+    res.checkpoint = make_checkpoint();
+    if (checkpoint_sink_) checkpoint_sink_(*res.checkpoint);
+  }
   res.samples = std::move(samples_);
   res.source_servers = src_energy_;
   res.destination_servers = dst_energy_;

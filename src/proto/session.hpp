@@ -21,11 +21,13 @@
 
 #include <cmath>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "proto/checkpoint.hpp"
 #include "proto/environment.hpp"
 #include "proto/faults.hpp"
 #include "proto/observer.hpp"
@@ -48,6 +50,12 @@ struct RunResult {
   Joules network_energy = 0.0;
   int final_concurrency = 0;
   bool completed = false;  ///< false if the max-sim-time guard tripped
+  /// Non-empty when the run refused to start (malformed FaultPlan, bad
+  /// resume); such a result has completed == false and zero bytes.
+  std::string error;
+  /// Present whenever the run ended incomplete: the journal entry a caller
+  /// (e.g. exp::Supervisor) resumes from without losing landed bytes.
+  std::optional<TransferCheckpoint> checkpoint;
   FaultStats faults;       ///< robustness accounting (all zero without faults)
   std::vector<SampleStats> samples;
   std::vector<ServerEnergy> source_servers;
@@ -79,6 +87,9 @@ struct SessionConfig {
   Seconds tick = 0.1;
   Seconds sample_interval = 5.0;
   Seconds max_sim_time = 7.0 * 24 * 3600;  ///< hard stop; flags !completed
+  /// Emit a TransferCheckpoint to the registered sink every this many
+  /// simulated seconds (0 = only the final abort checkpoint).
+  Seconds checkpoint_interval = 0.0;
 };
 
 class TransferSession : private FaultHost {
@@ -97,6 +108,29 @@ class TransferSession : private FaultHost {
   /// Attach a passive tick-level observer (may be null to detach). The
   /// observer must outlive run().
   void set_observer(SessionObserver* observer) noexcept { observer_ = observer; }
+
+  // --- checkpoint / resume ----------------------------------------------
+
+  /// Snapshot durable progress right now (also valid after run() returned, or
+  /// before it started). The journal is keyed by file id, so it can seed a
+  /// resume under a *different* plan over the same dataset.
+  [[nodiscard]] TransferCheckpoint make_checkpoint() const;
+
+  /// Receive the periodic journal entries (`SessionConfig::checkpoint_interval`)
+  /// plus the final entry of an aborted run. The sink must outlive run().
+  void set_checkpoint_sink(std::function<void(const TransferCheckpoint&)> sink) {
+    checkpoint_sink_ = std::move(sink);
+  }
+
+  /// Continue an interrupted transfer: drop landed files from the queues,
+  /// trim partially delivered files to their residual suffix, and restore the
+  /// wire/energy/fault ledgers and RNG streams, so the resumed run reports
+  /// cumulative totals and never re-pays delivered bytes. Call after
+  /// set_fault_plan() (which reseeds the RNGs this restores) and before
+  /// run(). Fails (false, *error filled) on a dataset-fingerprint mismatch or
+  /// a server-count mismatch; the session is unusable after a failed resume.
+  [[nodiscard]] bool resume_from(const TransferCheckpoint& checkpoint,
+                                 std::string* error = nullptr);
 
   // --- Controller API (valid during run(), from on_sample) ---------------
 
@@ -187,6 +221,13 @@ class TransferSession : private FaultHost {
   Rng jitter_rng_{1};  // reseeded from env.jitter_seed in the constructor
   Controller* controller_ = nullptr;
   SessionObserver* observer_ = nullptr;
+  // --- checkpoint / resume state -----------------------------------------
+  std::uint64_t dataset_fingerprint_ = 0;
+  /// Absolute transfer time already consumed by the legs this session resumed
+  /// from; added to every reported time (samples, checkpoints, duration).
+  Seconds time_offset_ = 0.0;
+  Seconds last_checkpoint_ = 0.0;  ///< local time of the last periodic emit
+  std::function<void(const TransferCheckpoint&)> checkpoint_sink_;
   Bytes total_bytes_ = 0;
   Bytes bytes_moved_ = 0;  ///< wire bytes (retransmissions included)
   Joules network_energy_ = 0.0;

@@ -42,6 +42,16 @@ Rng Rng::fork(std::string_view tag) const noexcept {
   return Rng(mix);
 }
 
+RngState Rng::state() const noexcept { return {s_[0], s_[1], s_[2], s_[3]}; }
+
+void Rng::restore(const RngState& state) noexcept {
+  if (state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0) {
+    *this = Rng(0);
+    return;
+  }
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = state[i];
+}
+
 std::uint64_t Rng::next_u64() noexcept {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

@@ -6,10 +6,15 @@
 // the order of construction mattering.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 
 namespace eadt {
+
+/// Snapshot of an Rng's internal state, for checkpoint/resume journals.
+/// Opaque except to Rng; serialize as four 64-bit words.
+using RngState = std::array<std::uint64_t, 4>;
 
 /// xoshiro256** PRNG. Small, fast, and fully deterministic across platforms
 /// (std::mt19937 would also be portable, but distributions are not; we ship
@@ -21,6 +26,15 @@ class Rng {
   /// Derive an independent child stream; `tag` is hashed into the seed so the
   /// same tag always yields the same stream for a given parent seed.
   [[nodiscard]] Rng fork(std::string_view tag) const noexcept;
+
+  /// Snapshot the generator mid-stream. Restoring the snapshot continues the
+  /// exact draw sequence — the mechanism checkpoint/resume uses so a resumed
+  /// run does not replay the fault history it already absorbed.
+  [[nodiscard]] RngState state() const noexcept;
+  /// Restore a snapshot taken with state(). An all-zero state (e.g. a
+  /// default-constructed checkpoint) is unreachable by xoshiro and is
+  /// replaced by the seed-0 state instead of wedging the generator.
+  void restore(const RngState& state) noexcept;
 
   /// Next raw 64-bit value.
   std::uint64_t next_u64() noexcept;

@@ -259,5 +259,156 @@ TEST(RobustnessSamples, WindowsReportWasteAndDownChannels) {
   EXPECT_GT(down_seen, 0);
 }
 
+TEST(FaultPlanValidation, DefaultAndTypicalPlansAreAccepted) {
+  EXPECT_FALSE(FaultPlan{}.validate().has_value());
+  FaultPlan busy;
+  busy.channel_drops.push_back({3.0, -1});
+  busy.outages.push_back({true, 0, 5.0, 2.0});
+  busy.brownouts.push_back({1.0, 2.0, 0.5});
+  busy.brownouts.push_back({4.0, 1.0, 0.8});  // back to back, no overlap
+  busy.stochastic.channel_drop_rate = 0.5;
+  busy.stochastic.checksum_failure_prob = 0.01;
+  EXPECT_FALSE(busy.validate().has_value());
+}
+
+TEST(FaultPlanValidation, RejectsOutOfRangeFields) {
+  const auto message = [](FaultPlan plan) {
+    const auto bad = plan.validate();
+    EXPECT_TRUE(bad.has_value());
+    return bad.value_or("");
+  };
+  FaultPlan p;
+  p.channel_drops.push_back({-1.0, 0});
+  EXPECT_NE(message(p).find("channel_drops"), std::string::npos);
+
+  p = {};
+  p.outages.push_back({true, 0, 1.0, -2.0});
+  EXPECT_NE(message(p).find("outages"), std::string::npos);
+
+  p = {};
+  p.brownouts.push_back({1.0, 2.0, 1.5});  // capacity above nominal
+  EXPECT_NE(message(p).find("capacity_factor"), std::string::npos);
+
+  p = {};
+  p.stochastic.channel_drop_rate = -0.1;
+  EXPECT_NE(message(p).find("drop_rate"), std::string::npos);
+
+  p = {};
+  p.stochastic.checksum_failure_prob = 1.5;
+  EXPECT_NE(message(p).find("checksum"), std::string::npos);
+
+  p = {};
+  p.retry.backoff_multiplier = 0.0;  // would re-dial instantly forever
+  EXPECT_NE(message(p).find("multiplier"), std::string::npos);
+
+  p = {};
+  p.retry.backoff_jitter = 2.0;
+  EXPECT_NE(message(p).find("jitter"), std::string::npos);
+
+  p = {};
+  p.retry.channel_retry_budget = -1;
+  EXPECT_NE(message(p).find("budget"), std::string::npos);
+}
+
+TEST(FaultPlanValidation, RejectsOverlappingBrownouts) {
+  FaultPlan p;
+  p.brownouts.push_back({5.0, 3.0, 0.5});
+  p.brownouts.push_back({1.0, 2.0, 0.5});  // unsorted input is handled
+  EXPECT_FALSE(p.validate().has_value());
+  p.brownouts.push_back({7.0, 1.0, 0.5});  // inside [5, 8)
+  const auto bad = p.validate();
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_NE(bad->find("overlap"), std::string::npos);
+}
+
+TEST(FaultPlanValidation, SessionRefusesToRunAMalformedPlan) {
+  const auto env = small_env();
+  const auto ds = dataset_of({10 * kMB});
+  FaultPlan p;
+  p.stochastic.channel_drop_rate = -1.0;
+  const auto r = run_with(env, ds, one_chunk_plan(ds, 1), p);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.bytes, 0u);
+  EXPECT_NE(r.error.find("invalid FaultPlan"), std::string::npos) << r.error;
+  EXPECT_FALSE(r.checkpoint.has_value());  // nothing ran, nothing to resume
+}
+
+TEST(RetryBackoff, GrowsGeometricallyAndHitsTheCeiling) {
+  RetryPolicy retry;
+  retry.backoff_initial = 1.0;
+  retry.backoff_multiplier = 2.0;
+  retry.backoff_max = 5.0;
+  retry.backoff_jitter = 0.0;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(retry_backoff_delay(retry, 1, rng), 1.0);
+  EXPECT_DOUBLE_EQ(retry_backoff_delay(retry, 2, rng), 2.0);
+  EXPECT_DOUBLE_EQ(retry_backoff_delay(retry, 3, rng), 4.0);
+  EXPECT_DOUBLE_EQ(retry_backoff_delay(retry, 4, rng), 5.0);   // capped
+  EXPECT_DOUBLE_EQ(retry_backoff_delay(retry, 10, rng), 5.0);  // stays capped
+}
+
+TEST(RetryBackoff, JitterStaysInsideItsBand) {
+  RetryPolicy retry;
+  retry.backoff_initial = 2.0;
+  retry.backoff_multiplier = 1.0;
+  retry.backoff_jitter = 0.25;
+  Rng rng(42);
+  double lo = 1e9, hi = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const Seconds d = retry_backoff_delay(retry, 1, rng);
+    EXPECT_GE(d, 2.0 * (1.0 - 0.25) - 1e-12);
+    EXPECT_LE(d, 2.0 * (1.0 + 0.25) + 1e-12);
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  EXPECT_LT(lo, 2.0);  // the band is actually explored on both sides
+  EXPECT_GT(hi, 2.0);
+}
+
+TEST(RetryBackoff, ZeroBudgetQuarantinesOnTheFirstDrop) {
+  const auto env = small_env();
+  const auto ds = mixed_dataset();
+  const auto plan = one_chunk_plan(ds, 2);
+  FaultPlan faults;
+  faults.channel_drops.push_back({1.0, 0});
+  faults.retry.channel_retry_budget = 0;
+  const auto r = run_with(env, ds, plan, faults);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.faults.quarantined_channels, 1);
+  EXPECT_EQ(r.goodput_bytes(), ds.total_bytes());
+
+  // Budget 1 absorbs that single drop without losing the slot.
+  faults.retry.channel_retry_budget = 1;
+  const auto lenient = run_with(env, ds, plan, faults);
+  ASSERT_TRUE(lenient.completed);
+  EXPECT_EQ(lenient.faults.quarantined_channels, 0);
+}
+
+TEST(RetryBackoff, LegacyRetransmissionPaysForEveryDropOfTheSameFile) {
+  // Without restart markers a file dropped twice re-sends its prefix twice;
+  // the journal/waste accounting must reflect both losses.
+  const auto env = small_env();
+  const auto ds = dataset_of({80 * kMB});
+  const auto plan = one_chunk_plan(ds, 1);
+  FaultPlan once;
+  once.channel_drops.push_back({0.3, 0});
+  once.retry.restart_markers = false;
+  once.retry.backoff_initial = 0.2;
+  auto twice = once;
+  twice.channel_drops.push_back({1.2, 0});  // hits the retransmission too
+
+  const auto a = run_with(env, ds, plan, once);
+  const auto b = run_with(env, ds, plan, twice);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_EQ(a.faults.channel_drops, 1);
+  EXPECT_EQ(b.faults.channel_drops, 2);
+  EXPECT_GT(b.faults.wasted_bytes, a.faults.wasted_bytes);
+  EXPECT_GT(b.bytes, a.bytes);
+  // Goodput is invariant: every drop wastes wire bytes, never unique bytes.
+  EXPECT_EQ(a.goodput_bytes(), ds.total_bytes());
+  EXPECT_EQ(b.goodput_bytes(), ds.total_bytes());
+}
+
 }  // namespace
 }  // namespace eadt::proto

@@ -153,5 +153,30 @@ TEST(Service, DeterministicReports) {
   EXPECT_DOUBLE_EQ(r1.total_energy, r2.total_energy);
 }
 
+TEST(Service, AbortedJobsAreExcludedFromAggregateRates) {
+  // A time-guard abort used to be folded into the report as a success, its
+  // clock-limited "rate" dragging the aggregate down. It must be counted as
+  // a failure and kept out of the reference-rate math.
+  const auto t = tiny_xsede();
+  auto cfg = fast_cfg();
+  cfg.max_sim_time = 1.5;  // enough for 4 files, nowhere near enough for 64
+  TransferService service(t, gbps(7.0), cfg);
+  std::vector<TransferJob> jobs;
+  jobs.push_back({"small", job_dataset(50 * kMB, 4), JobPolicy::kDeadline, 0, 0, 8});
+  jobs.push_back({"huge", job_dataset(100 * kMB, 64), JobPolicy::kDeadline, 0, 0, 8});
+  const auto report = service.run_queue(jobs);
+
+  ASSERT_EQ(report.jobs.size(), 2u);
+  EXPECT_FALSE(report.jobs[0].failed);
+  EXPECT_TRUE(report.jobs[1].failed);
+  EXPECT_FALSE(report.jobs[1].sla_met);
+  EXPECT_EQ(report.failed_jobs, 1);
+  // The mean rate fraction reflects the completed job alone.
+  const double expected =
+      report.jobs[0].result.avg_throughput() / report.reference_rate;
+  EXPECT_DOUBLE_EQ(report.mean_rate_fraction, expected);
+  EXPECT_GT(report.mean_rate_fraction, 0.0);
+}
+
 }  // namespace
 }  // namespace eadt::exp
