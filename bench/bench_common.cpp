@@ -1,38 +1,114 @@
 #include "bench_common.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "exp/report.hpp"
 
 namespace eadt::bench {
 
-Options parse_options(int argc, char** argv) {
+namespace {
+
+std::string basename_of(std::string_view path) {
+  const auto slash = path.find_last_of('/');
+  return std::string(slash == std::string_view::npos ? path : path.substr(slash + 1));
+}
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   since)
+      .count();
+}
+
+}  // namespace
+
+void print_usage(std::ostream& os) {
+  os << "usage: bench [--scale N] [--csv] [--plot STEM] [--jobs N] [--quick]\n"
+        "             [--json PATH] [--no-json]\n"
+        "  --scale N   divide the dataset size by N (default 1: paper scale)\n"
+        "  --csv       emit CSV instead of aligned tables\n"
+        "  --plot STEM write STEM.csv and a gnuplot script STEM.gp\n"
+        "  --jobs N    sweep worker threads (default: EADT_JOBS, then all cores);\n"
+        "              results are bit-identical for every N\n"
+        "  --quick     smoke preset: raises --scale to at least 32\n"
+        "  --json PATH write the perf record there instead of BENCH_<name>.json\n"
+        "  --no-json   skip the BENCH_<name>.json perf record\n";
+}
+
+std::optional<Options> try_parse_options(int argc, char** argv, std::string* error) {
   Options opt;
+  if (argc > 0 && argv[0] != nullptr) opt.bench_name = basename_of(argv[0]);
+  const auto fail = [&](std::string msg) -> std::optional<Options> {
+    if (error != nullptr) *error = std::move(msg);
+    return std::nullopt;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
+    const auto value_of = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
     if (arg == "--csv") {
       opt.csv = true;
-    } else if (arg == "--scale" && i + 1 < argc) {
-      opt.scale = static_cast<unsigned>(std::max(1, std::atoi(argv[++i])));
+    } else if (arg == "--quick") {
+      opt.quick = true;
+    } else if (arg == "--no-json") {
+      opt.json = false;
+    } else if (arg == "--scale") {
+      const auto v = value_of();
+      if (!v) return fail("--scale requires a value");
+      opt.scale = static_cast<unsigned>(std::max(1, std::atoi(v->c_str())));
     } else if (arg.rfind("--scale=", 0) == 0) {
       opt.scale = static_cast<unsigned>(std::max(1, std::atoi(arg.data() + 8)));
-    } else if (arg == "--plot" && i + 1 < argc) {
-      opt.plot_stem = argv[++i];
+    } else if (arg == "--jobs") {
+      const auto v = value_of();
+      if (!v) return fail("--jobs requires a value");
+      opt.jobs = std::max(0, std::atoi(v->c_str()));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      opt.jobs = std::max(0, std::atoi(arg.data() + 7));
+    } else if (arg == "--plot") {
+      const auto v = value_of();
+      if (!v) return fail("--plot requires a value");
+      opt.plot_stem = *v;
     } else if (arg.rfind("--plot=", 0) == 0) {
       opt.plot_stem = std::string(arg.substr(7));
+    } else if (arg == "--json") {
+      const auto v = value_of();
+      if (!v) return fail("--json requires a value");
+      opt.json_path = *v;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      opt.json_path = std::string(arg.substr(7));
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: bench [--scale N] [--csv] [--plot STEM]\n"
-                   "  --scale N   divide the dataset size by N (default 1: paper scale)\n"
-                   "  --csv       emit CSV instead of aligned tables\n"
-                   "  --plot STEM write STEM.csv and a gnuplot script STEM.gp\n";
-      std::exit(0);
+      opt.help = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return fail("unknown option '" + std::string(arg) + "'");
+    } else {
+      return fail("unexpected argument '" + std::string(arg) + "'");
     }
   }
+  if (opt.quick) opt.scale = std::max(opt.scale, 32u);
   return opt;
+}
+
+Options parse_options(int argc, char** argv) {
+  std::string error;
+  auto opt = try_parse_options(argc, argv, &error);
+  if (!opt) {
+    std::cerr << "error: " << error << "\n";
+    print_usage(std::cerr);
+    std::exit(2);
+  }
+  if (opt->help) {
+    print_usage(std::cout);
+    std::exit(0);
+  }
+  return *opt;
 }
 
 void print_header(const testbeds::Testbed& t, const Options& opt) {
@@ -56,6 +132,20 @@ void emit(const Table& table, const Options& opt) {
   std::cout << '\n';
 }
 
+void write_bench_record(const Options& opt, exp::BenchRecord record) {
+  if (!opt.json) return;
+  if (record.name.empty()) record.name = opt.bench_name;
+  record.commit = exp::bench_commit_stamp();
+  record.jobs = exp::resolve_jobs(opt.jobs);
+  record.scale = opt.scale;
+  const std::string path =
+      opt.json_path.empty() ? "BENCH_" + record.name + ".json" : opt.json_path;
+  std::ofstream os(path);
+  exp::write_bench_json(os, record);
+  std::cout << "wrote " << path << " (" << record.tasks.size() << " tasks, jobs="
+            << record.jobs << ")\n";
+}
+
 namespace {
 
 testbeds::Testbed scaled(testbeds::Testbed t, unsigned divisor) {
@@ -73,26 +163,57 @@ void run_concurrency_figure(const testbeds::Testbed& base, const Options& opt) {
   const auto algorithms = exp::figure_algorithms();
   const auto levels = exp::figure_concurrency_levels();
 
-  std::map<std::pair<exp::Algorithm, int>, exp::RunOutcome> runs;
+  // Declarative grid: one task per unique run. GUC and GO do not take a
+  // concurrency parameter, so they contribute one task each and their
+  // outcome is replicated across the x-axis below.
+  std::vector<exp::SweepTask> tasks;
+  std::vector<std::pair<exp::Algorithm, int>> keys;
+  const auto add_task = [&](exp::Algorithm a, int level) {
+    exp::SweepTask task;
+    task.testbed = t;
+    task.dataset = dataset;
+    task.algorithm = a;
+    task.concurrency = level;
+    tasks.push_back(std::move(task));
+    keys.emplace_back(a, level);
+  };
   for (const auto a : algorithms) {
     for (const int level : levels) {
-      // GUC and GO do not take a concurrency parameter; run them once.
       if ((a == exp::Algorithm::kGuc || a == exp::Algorithm::kGo) &&
           level != levels.front()) {
-        runs.emplace(std::make_pair(a, level), runs.at({a, levels.front()}));
         continue;
       }
-      runs.emplace(std::make_pair(a, level), exp::run_algorithm(a, t, dataset, level));
+      add_task(a, level);
     }
   }
-
   // Brute-force reference sweep for panel (c).
+  for (const int level : exp::bf_concurrency_levels()) {
+    add_task(exp::Algorithm::kBf, level);
+  }
+
+  const exp::SweepRunner runner(opt.jobs);
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = runner.run(tasks);
+  const double sweep_ms = elapsed_ms(sweep_start);
+
+  std::map<std::pair<exp::Algorithm, int>, exp::RunOutcome> runs;
   std::map<int, exp::RunOutcome> bf;
   double best_bf_ratio = 0.0;
-  for (const int level : exp::bf_concurrency_levels()) {
-    auto out = exp::run_algorithm(exp::Algorithm::kBf, t, dataset, level);
-    best_bf_ratio = std::max(best_bf_ratio, out.ratio());
-    bf.emplace(level, std::move(out));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& [a, level] = keys[i];
+    if (a == exp::Algorithm::kBf) {
+      best_bf_ratio = std::max(best_bf_ratio, results[i].run.ratio());
+      bf.emplace(level, results[i].run);
+    } else {
+      runs.emplace(std::make_pair(a, level), results[i].run);
+    }
+  }
+  for (const auto a : {exp::Algorithm::kGuc, exp::Algorithm::kGo}) {
+    for (const int level : levels) {
+      if (level != levels.front()) {
+        runs.emplace(std::make_pair(a, level), runs.at({a, levels.front()}));
+      }
+    }
   }
 
   auto header_row = [&] {
@@ -173,6 +294,11 @@ void run_concurrency_figure(const testbeds::Testbed& base, const Options& opt) {
             << "% extra for SC\n"
             << "  ProMC peak throughput: " << Table::num(promc12.throughput_mbps(), 0)
             << " Mbps\n\n";
+
+  exp::BenchRecord record;
+  record.total_wall_ms = sweep_ms;
+  record.tasks = results;
+  write_bench_record(opt, std::move(record));
 }
 
 void run_sla_figure(const testbeds::Testbed& base, int promc_level, const Options& opt) {
@@ -180,17 +306,43 @@ void run_sla_figure(const testbeds::Testbed& base, int promc_level, const Option
   print_header(base, opt);
   const auto dataset = t.make_dataset();
 
-  const auto promc = exp::run_algorithm(exp::Algorithm::kProMc, t, dataset, promc_level);
+  const exp::SweepRunner runner(opt.jobs);
+  const auto sweep_start = std::chrono::steady_clock::now();
+
+  // The ProMC maximum calibrates every SLA target, so it runs first (a
+  // one-task sweep); the SLA grid then fans out in parallel.
+  std::vector<exp::SweepTask> promc_tasks(1);
+  promc_tasks[0].testbed = t;
+  promc_tasks[0].dataset = dataset;
+  promc_tasks[0].algorithm = exp::Algorithm::kProMc;
+  promc_tasks[0].concurrency = promc_level;
+  auto promc_results = runner.run(promc_tasks);
+  const auto& promc = promc_results[0].run;
   const BitsPerSecond max_thr = promc.result.avg_throughput();
   std::cout << "ProMC maximum throughput (cc=" << promc_level
             << "): " << Table::num(to_mbps(max_thr), 0)
             << " Mbps, energy " << Table::num(promc.energy(), 0) << " J\n\n";
 
+  std::vector<exp::SweepTask> sla_tasks;
+  for (const double target : exp::sla_target_percents()) {
+    exp::SweepTask task;
+    task.kind = exp::SweepTask::Kind::kSla;
+    task.testbed = t;
+    task.dataset = dataset;
+    task.concurrency = 12;
+    task.target_percent = target;
+    task.max_throughput = max_thr;
+    sla_tasks.push_back(std::move(task));
+  }
+  const auto sla_results = runner.run(sla_tasks);
+  const double sweep_ms = elapsed_ms(sweep_start);
+
   Table table({"target %", "target Mbps", "achieved Mbps", "energy J",
                "vs ProMC energy %", "deviation %", "final cc", "rearranged"});
-  for (const double target : exp::sla_target_percents()) {
-    const auto out = exp::run_slaee(t, dataset, target, max_thr, 12);
-    table.add_row({Table::num(target, 0), Table::num(to_mbps(out.target_throughput), 0),
+  for (const auto& r : sla_results) {
+    const auto& out = r.sla;
+    table.add_row({Table::num(out.target_percent, 0),
+                   Table::num(to_mbps(out.target_throughput), 0),
                    Table::num(out.achieved_mbps(), 0), Table::num(out.energy(), 0),
                    Table::num(100.0 * out.energy() / promc.energy() - 100.0, 1),
                    Table::num(out.deviation_percent(), 1),
@@ -199,6 +351,15 @@ void run_sla_figure(const testbeds::Testbed& base, int promc_level, const Option
   }
   std::cout << "SLA transfers (Figure panels a-c as columns)\n";
   emit(table, opt);
+
+  exp::BenchRecord record;
+  record.total_wall_ms = sweep_ms;
+  record.tasks = std::move(promc_results);
+  for (const auto& r : sla_results) {
+    record.tasks.push_back(r);
+    record.tasks.back().index = record.tasks.size() - 1;
+  }
+  write_bench_record(opt, std::move(record));
 }
 
 }  // namespace eadt::bench

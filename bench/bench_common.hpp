@@ -3,31 +3,60 @@
 // Every bench prints (a) the testbed header, (b) the same series the paper's
 // figure plots, as a table, and (c) the qualitative checks the paper's text
 // makes about that figure. `--scale N` divides the dataset bytes by N for a
-// quick run; `--csv` switches the tables to CSV.
+// quick run; `--csv` switches the tables to CSV. Sweeps fan out across a
+// thread pool (`--jobs`, deterministic: bit-identical to `--jobs 1`), and
+// each invocation records its grid, per-task wall times and simulation
+// counters to BENCH_<name>.json (disable with `--no-json`).
 #pragma once
 
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "exp/runner.hpp"
+#include "exp/sweep.hpp"
 #include "util/table.hpp"
 
 namespace eadt::bench {
 
 struct Options {
+  /// Basename of argv[0]; names the BENCH_<name>.json perf record.
+  std::string bench_name = "bench";
   unsigned scale = 1;
   bool csv = false;
   /// When non-empty, concurrency figures also write <stem>.csv and a
   /// ready-to-run gnuplot script <stem>.gp.
   std::string plot_stem;
+  /// Sweep worker count; 0 = auto (EADT_JOBS, then hardware_concurrency).
+  int jobs = 0;
+  /// CI smoke preset: raises --scale to at least 32.
+  bool quick = false;
+  /// Write the BENCH_<name>.json perf record (default on).
+  bool json = true;
+  std::string json_path;  ///< overrides the default BENCH_<name>.json
+  bool help = false;
 };
 
+/// Strict parser: unknown flags, stray positional arguments and missing
+/// values are errors (`*error` explains which), not silently ignored.
+[[nodiscard]] std::optional<Options> try_parse_options(int argc, char** argv,
+                                                       std::string* error);
+
+void print_usage(std::ostream& os);
+
+/// try_parse_options, exiting with the usage message on error (status 2) or
+/// on --help (status 0). The overload every bench main uses.
 [[nodiscard]] Options parse_options(int argc, char** argv);
 
 /// Testbed banner: Figure 1's specs for this environment.
 void print_header(const testbeds::Testbed& t, const Options& opt);
 
 void emit(const Table& table, const Options& opt);
+
+/// Fill the invocation metadata (name/commit/jobs/scale) and write the
+/// record to opt.json_path (default BENCH_<bench_name>.json). No-op when
+/// --no-json was given.
+void write_bench_record(const Options& opt, exp::BenchRecord record);
 
 /// Figures 2/3/4: throughput, energy and efficiency vs concurrency for the
 /// six algorithms, plus the brute-force reference sweep.

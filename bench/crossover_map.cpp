@@ -4,6 +4,7 @@
 // link. For every cell (parallel-storage endpoints, cc budget 8) the table
 // reports the throughput winner, the energy winner, and the best
 // throughput/energy ratio winner among {SC, MinE, ProMC, HTEE}.
+#include <chrono>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -20,8 +21,9 @@ int main(int argc, char** argv) {
   const exp::Algorithm contenders[] = {exp::Algorithm::kSc, exp::Algorithm::kMinE,
                                        exp::Algorithm::kProMc, exp::Algorithm::kHtee};
 
-  Table table({"bandwidth", "RTT ms", "BDP MB", "fastest", "cheapest", "best ratio",
-               "ratio spread"});
+  // Whole RTT x bandwidth x algorithm grid as one parallel sweep; per-cell
+  // winners are picked afterwards from the index-ordered results.
+  std::vector<exp::SweepTask> tasks;
   for (const double bw : bws_gbps) {
     for (const double rtt_ms : rtts_ms) {
       auto t = testbeds::xsede();  // endpoint template; path overridden per cell
@@ -32,16 +34,36 @@ int main(int argc, char** argv) {
         band.max_size = std::max(band.max_size / 16, band.min_size * 2);
       }
       const auto ds = t.make_dataset();
+      for (const auto a : contenders) {
+        exp::SweepTask task;
+        task.testbed = t;
+        task.dataset = ds;
+        task.algorithm = a;
+        task.concurrency = 8;
+        tasks.push_back(std::move(task));
+      }
+    }
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = exp::SweepRunner(opt.jobs).run(tasks);
+  const double sweep_ms = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - sweep_start).count();
 
+  Table table({"bandwidth", "RTT ms", "BDP MB", "fastest", "cheapest", "best ratio",
+               "ratio spread"});
+  std::size_t cell = 0;
+  for (const double bw : bws_gbps) {
+    for (const double rtt_ms : rtts_ms) {
       const exp::RunOutcome* fastest = nullptr;
       const exp::RunOutcome* cheapest = nullptr;
       const exp::RunOutcome* best = nullptr;
       double worst_ratio = 0.0;
       std::vector<exp::RunOutcome> outs;
       outs.reserve(4);
-      for (const auto a : contenders) {
-        outs.push_back(exp::run_algorithm(a, t, ds, 8));
+      for (std::size_t i = 0; i < std::size(contenders); ++i) {
+        outs.push_back(results[cell * std::size(contenders) + i].run);
       }
+      ++cell;
       for (const auto& out : outs) {
         if (fastest == nullptr || out.throughput_mbps() > fastest->throughput_mbps()) {
           fastest = &out;
@@ -59,6 +81,11 @@ int main(int argc, char** argv) {
     }
   }
   bench::emit(table, opt);
+
+  exp::BenchRecord record;
+  record.total_wall_ms = sweep_ms;
+  record.tasks = results;
+  bench::write_bench_record(opt, std::move(record));
 
   std::cout << "reading the map:\n"
                "  the winner shifts across the plane — sequential SC on short\n"

@@ -1,6 +1,7 @@
 // Reproduces Figure 10: decomposition of the total (load-dependent) transfer
 // energy into end-system and network-infrastructure components for the HTEE
 // algorithm on all three testbeds, and prints the Figure 9 device chains.
+#include <chrono>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -25,13 +26,27 @@ int main(int argc, char** argv) {
   }
   std::cout << '\n';
 
-  Table table({"testbed", "end-system kJ", "network kJ", "end-system %", "network %"});
-  Table detail({"testbed", "device kind", "count", "J"});
+  // One HTEE run per testbed, fanned out by the sweep runner.
+  std::vector<exp::SweepTask> tasks;
   for (auto t : testbeds::all_testbeds()) {
     t.recipe.total_bytes /= opt.scale;
-    const auto ds = t.make_dataset();
-    const auto out =
-        exp::run_algorithm(exp::Algorithm::kHtee, t, ds, t.default_max_channels);
+    exp::SweepTask task;
+    task.dataset = t.make_dataset();
+    task.algorithm = exp::Algorithm::kHtee;
+    task.concurrency = t.default_max_channels;
+    task.testbed = std::move(t);
+    tasks.push_back(std::move(task));
+  }
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto results = exp::SweepRunner(opt.jobs).run(tasks);
+  const double sweep_ms = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - sweep_start).count();
+
+  Table table({"testbed", "end-system kJ", "network kJ", "end-system %", "network %"});
+  Table detail({"testbed", "device kind", "count", "J"});
+  for (const auto& r : results) {
+    const auto& t = tasks[r.index].testbed;
+    const auto& out = r.run;
     const Joules end = out.result.end_system_energy;
     const Joules netj = out.result.network_energy;
     const double total = end + netj;
@@ -53,5 +68,10 @@ int main(int argc, char** argv) {
                "  end-systems dominate the load-dependent energy on every testbed\n"
                "  the metro-router path gives FutureGrid the highest network\n"
                "  energy per byte of the three environments\n";
+
+  exp::BenchRecord record;
+  record.total_wall_ms = sweep_ms;
+  record.tasks = results;
+  bench::write_bench_record(opt, std::move(record));
   return 0;
 }

@@ -24,12 +24,22 @@ int main(int argc, char** argv) {
     const auto ds = t.make_dataset();
     const int max_cc = t.default_max_channels;
 
-    // Brute-force reference ratios per level.
+    // Brute-force reference ratios per level, fanned out by the sweep runner.
+    std::vector<exp::SweepTask> bf_tasks;
+    for (int level = 1; level <= max_cc; ++level) {
+      exp::SweepTask task;
+      task.testbed = t;
+      task.dataset = ds;
+      task.algorithm = exp::Algorithm::kBf;
+      task.concurrency = level;
+      bf_tasks.push_back(std::move(task));
+    }
+    const auto bf_results = exp::SweepRunner(opt.jobs).run(bf_tasks);
     std::map<int, double> bf;
     double best_bf = 0.0;
-    for (int level = 1; level <= max_cc; ++level) {
-      bf[level] = exp::run_algorithm(exp::Algorithm::kBf, t, ds, level).ratio();
-      best_bf = std::max(best_bf, bf[level]);
+    for (const auto& r : bf_results) {
+      bf[r.run.concurrency] = r.run.ratio();
+      best_bf = std::max(best_bf, bf[r.run.concurrency]);
     }
 
     {

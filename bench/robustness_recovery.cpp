@@ -7,6 +7,7 @@
 // tight watchdogs bound tail latency per attempt but re-pay per-file
 // overheads on every resumed leg, and under heavy faults they push jobs down
 // the ladder to safer, slower operating points.
+#include <chrono>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -63,39 +64,66 @@ int main(int argc, char** argv) {
             << "clean unsupervised run: " << Table::num(clean_t, 1) << " s, "
             << Table::num(clean_j, 0) << " J\n\n";
 
-  Table table({"severity", "deadline s", "attempts", "degraded", "done",
-               "goodput Mbps", "energy overhead %", "resumes", "rungs"});
+  // Supervisor cells are not plain algorithm runs, so they use the sweep
+  // runner's deterministic fan-out primitive directly: each (severity x
+  // deadline) cell owns its service, and rows are rendered in cell order
+  // regardless of which worker finished first.
+  struct Cell {
+    const char* severity = nullptr;
+    const proto::FaultPlan* plan = nullptr;
+    double deadline = 0.0;
+    exp::JobOutcome job;
+  };
+  std::vector<Cell> cells;
   for (const auto& sev : severities) {
     for (const double frac : deadline_fractions) {
-      exp::TransferService service(base, probe.reference_rate(), {});
-      service.set_fault_plan(sev.plan);
-      exp::SupervisorPolicy policy;
-      policy.attempt_deadline = clean_t * frac;
-      policy.max_attempts = 20;
-      policy.degrade_after = 2;
-      service.set_supervisor(policy);
-
-      std::vector<exp::TransferJob> jobs;
-      jobs.push_back({"swept", ds, exp::JobPolicy::kDeadline, 0, 0, cc});
-      const auto report = service.run_queue(jobs);
-      const auto& job = report.jobs[0];
-      const double overhead =
-          (job.result.end_system_energy - clean_j) / clean_j * 100.0;
-      const int rungs =
-          job.recovery.count(exp::RecoveryAction::kReduceChannels) +
-          job.recovery.count(exp::RecoveryAction::kPolicyFallback);
-      table.add_row({sev.name, Table::num(policy.attempt_deadline, 1),
-                     Table::num(double(job.attempts), 0),
-                     job.recovery.degraded() ? "yes" : "no",
-                     job.failed ? "FAILED" : "yes",
-                     Table::num(to_mbps(job.result.avg_goodput()), 0),
-                     Table::num(overhead, 1),
-                     Table::num(
-                         double(job.recovery.count(exp::RecoveryAction::kResume)), 0),
-                     Table::num(double(rungs), 0)});
+      cells.push_back({sev.name, &sev.plan, clean_t * frac, {}});
     }
   }
+  const BitsPerSecond reference_rate = probe.reference_rate();
+  const auto sweep_start = std::chrono::steady_clock::now();
+  exp::SweepRunner::parallel_indexed(
+      exp::resolve_jobs(opt.jobs), cells.size(), [&](std::size_t i) {
+        auto& cell = cells[i];
+        exp::TransferService service(base, reference_rate, {});
+        service.set_fault_plan(*cell.plan);
+        exp::SupervisorPolicy policy;
+        policy.attempt_deadline = cell.deadline;
+        policy.max_attempts = 20;
+        policy.degrade_after = 2;
+        service.set_supervisor(policy);
+
+        std::vector<exp::TransferJob> jobs;
+        jobs.push_back({"swept", ds, exp::JobPolicy::kDeadline, 0, 0, cc});
+        cell.job = service.run_queue(jobs).jobs[0];
+      });
+  const double sweep_ms = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - sweep_start).count();
+
+  Table table({"severity", "deadline s", "attempts", "degraded", "done",
+               "goodput Mbps", "energy overhead %", "resumes", "rungs"});
+  for (const auto& cell : cells) {
+    const auto& job = cell.job;
+    const double overhead =
+        (job.result.end_system_energy - clean_j) / clean_j * 100.0;
+    const int rungs =
+        job.recovery.count(exp::RecoveryAction::kReduceChannels) +
+        job.recovery.count(exp::RecoveryAction::kPolicyFallback);
+    table.add_row({cell.severity, Table::num(cell.deadline, 1),
+                   Table::num(double(job.attempts), 0),
+                   job.recovery.degraded() ? "yes" : "no",
+                   job.failed ? "FAILED" : "yes",
+                   Table::num(to_mbps(job.result.avg_goodput()), 0),
+                   Table::num(overhead, 1),
+                   Table::num(
+                       double(job.recovery.count(exp::RecoveryAction::kResume)), 0),
+                   Table::num(double(rungs), 0)});
+  }
   bench::emit(table, opt);
+
+  exp::BenchRecord record;
+  record.total_wall_ms = sweep_ms;
+  bench::write_bench_record(opt, std::move(record));
 
   std::cout << "\nDeadlines are fractions (0.35 / 0.6 / 1.0) of the clean run "
                "time; every resumed\nleg re-pays per-file overheads on cold "

@@ -1,43 +1,53 @@
 // Campaign planner: a nightly bulk-replication job must pick a transfer
 // algorithm per route. This example benchmarks the candidates on each route
-// (WAN 10G, WAN 1G, LAN) and recommends one by policy:
+// (WAN 10G, WAN 1G, LAN) with a parallel deterministic sweep — the whole
+// (route x algorithm) grid fans out across cores, and the recommendations
+// are identical whatever the worker count — then picks one by policy:
 //   * "deadline"  — highest throughput wins,
 //   * "green"     — lowest energy wins,
 //   * "balanced"  — best throughput/energy ratio wins.
 #include <iostream>
 #include <vector>
 
-#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace eadt;
 
-  struct Candidate {
-    exp::Algorithm algorithm;
-    int concurrency;
-  };
-  const std::vector<Candidate> candidates = {
-      {exp::Algorithm::kSc, 8},   {exp::Algorithm::kMinE, 8},
-      {exp::Algorithm::kProMc, 8}, {exp::Algorithm::kHtee, 8},
+  const std::vector<exp::Algorithm> candidates = {
+      exp::Algorithm::kSc, exp::Algorithm::kMinE,
+      exp::Algorithm::kProMc, exp::Algorithm::kHtee,
   };
 
+  // The full campaign grid, one task per (route, candidate).
+  std::vector<exp::SweepTask> tasks;
   for (auto testbed : testbeds::all_testbeds()) {
     testbed.recipe.total_bytes /= 16;  // demo-sized nightly batch
     const auto dataset = testbed.make_dataset();
-    std::cout << "route: " << testbed.env.name << " ("
-              << Table::num(to_gb(dataset.total_bytes()), 1) << " GB)\n";
+    for (const auto algorithm : candidates) {
+      exp::SweepTask task;
+      task.testbed = testbed;
+      task.dataset = dataset;
+      task.algorithm = algorithm;
+      task.concurrency = 8;
+      tasks.push_back(std::move(task));
+    }
+  }
+  const exp::SweepRunner runner;  // jobs: EADT_JOBS, else all cores
+  const auto results = runner.run(tasks);
+
+  for (std::size_t route = 0; route * candidates.size() < results.size(); ++route) {
+    const auto& first_task = tasks[route * candidates.size()];
+    std::cout << "route: " << first_task.testbed.env.name << " ("
+              << Table::num(to_gb(first_task.dataset.total_bytes()), 1) << " GB)\n";
 
     Table table({"algorithm", "Mbps", "Joule", "ratio"});
     const exp::RunOutcome* fastest = nullptr;
     const exp::RunOutcome* greenest = nullptr;
     const exp::RunOutcome* balanced = nullptr;
-    std::vector<exp::RunOutcome> outcomes;
-    outcomes.reserve(candidates.size());
-    for (const auto& c : candidates) {
-      outcomes.push_back(exp::run_algorithm(c.algorithm, testbed, dataset, c.concurrency));
-    }
-    for (const auto& out : outcomes) {
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const auto& out = results[route * candidates.size() + c].run;
       table.add_row({exp::to_string(out.algorithm), Table::num(out.throughput_mbps(), 0),
                      Table::num(out.energy(), 0), Table::num(out.ratio(), 3)});
       if (fastest == nullptr || out.throughput_mbps() > fastest->throughput_mbps()) {

@@ -957,6 +957,7 @@ RunResult TransferSession::run(Controller* controller) {
     res.checkpoint = make_checkpoint();
     if (checkpoint_sink_) checkpoint_sink_(*res.checkpoint);
   }
+  res.sim_counters = sim_.counters();
   res.samples = std::move(samples_);
   res.source_servers = src_energy_;
   res.destination_servers = dst_energy_;

@@ -57,6 +57,9 @@ struct RunResult {
   /// (e.g. exp::Supervisor) resumes from without losing landed bytes.
   std::optional<TransferCheckpoint> checkpoint;
   FaultStats faults;       ///< robustness accounting (all zero without faults)
+  /// Event-engine perf counters for this run (deterministic: a replay of the
+  /// same scenario reports the same counts — only wall time may differ).
+  sim::SimCounters sim_counters;
   std::vector<SampleStats> samples;
   std::vector<ServerEnergy> source_servers;
   std::vector<ServerEnergy> destination_servers;

@@ -9,6 +9,8 @@ EventId Simulation::schedule_at(Seconds t, std::function<void()> fn) {
   const Seconds when = std::max(t, now_);
   const EventId id{when, next_seq_++};
   queue_.emplace(Key{id.time, id.seq}, std::move(fn));
+  ++counters_.scheduled;
+  counters_.peak_queue = std::max<std::uint64_t>(counters_.peak_queue, queue_.size());
   return id;
 }
 
@@ -29,10 +31,12 @@ bool Simulation::cancel(EventId id) {
   if (auto it = tickers_.find(id.seq); it != tickers_.end()) {
     const EventId current = it->second->current;
     tickers_.erase(it);
-    queue_.erase(Key{current.time, current.seq});
+    counters_.cancelled += queue_.erase(Key{current.time, current.seq});
     return true;
   }
-  return queue_.erase(Key{id.time, id.seq}) > 0;
+  const bool erased = queue_.erase(Key{id.time, id.seq}) > 0;
+  counters_.cancelled += erased ? 1 : 0;
+  return erased;
 }
 
 EventId Simulation::add_ticker(Seconds interval, std::function<bool()> fn) {
@@ -45,6 +49,7 @@ EventId Simulation::add_ticker(Seconds interval, std::function<bool()> fn) {
   state->rearm = [this, interval, key]() {
     const auto it = tickers_.find(key);
     if (it == tickers_.end()) return;  // cancelled while this firing was queued
+    ++counters_.ticks;
     const auto st = it->second;
     if (!st->fn()) {
       tickers_.erase(key);
@@ -65,6 +70,7 @@ bool Simulation::step() {
   now_ = it->first.first;
   auto fn = std::move(it->second);
   queue_.erase(it);
+  ++counters_.fired;
   fn();
   return true;
 }

@@ -28,6 +28,17 @@ struct EventId {
   [[nodiscard]] bool valid() const noexcept { return seq != 0; }
 };
 
+/// Cheap lifetime counters of one Simulation, for perf records. They are
+/// bookkeeping only — reading them never perturbs event order — so two runs
+/// of the same scenario report identical counters.
+struct SimCounters {
+  std::uint64_t scheduled = 0;   ///< schedule_at/schedule_after calls (ticker re-arms included)
+  std::uint64_t fired = 0;       ///< events that actually executed
+  std::uint64_t cancelled = 0;   ///< events removed before firing
+  std::uint64_t ticks = 0;       ///< ticker occurrences fired
+  std::uint64_t peak_queue = 0;  ///< high-water mark of pending_events()
+};
+
 class Simulation {
  public:
   Simulation() = default;
@@ -61,12 +72,15 @@ class Simulation {
 
   [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
 
+  [[nodiscard]] const SimCounters& counters() const noexcept { return counters_; }
+
  private:
   using Key = std::pair<Seconds, std::uint64_t>;
   struct TickerState;
 
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 1;
+  SimCounters counters_;
   std::map<Key, std::function<void()>> queue_;
   /// Live tickers, keyed by the seq of their first occurrence (the id
   /// add_ticker returned); the value tracks the currently queued occurrence.

@@ -5,17 +5,30 @@
 namespace eadt::bench {
 namespace {
 
-Options parse(std::vector<const char*> args) {
+std::optional<Options> try_parse(std::vector<const char*> args,
+                                 std::string* error = nullptr) {
   args.insert(args.begin(), "bench");  // argv[0]
-  return parse_options(static_cast<int>(args.size()),
-                       const_cast<char**>(args.data()));
+  return try_parse_options(static_cast<int>(args.size()),
+                           const_cast<char**>(args.data()), error);
+}
+
+Options parse(std::vector<const char*> args) {
+  const auto opt = try_parse(std::move(args));
+  EXPECT_TRUE(opt.has_value());
+  return opt.value_or(Options{});
 }
 
 TEST(BenchOptions, Defaults) {
   const auto opt = parse({});
+  EXPECT_EQ(opt.bench_name, "bench");
   EXPECT_EQ(opt.scale, 1u);
   EXPECT_FALSE(opt.csv);
   EXPECT_TRUE(opt.plot_stem.empty());
+  EXPECT_EQ(opt.jobs, 0);  // 0 = defer to EADT_JOBS / hardware
+  EXPECT_FALSE(opt.quick);
+  EXPECT_TRUE(opt.json);
+  EXPECT_TRUE(opt.json_path.empty());
+  EXPECT_FALSE(opt.help);
 }
 
 TEST(BenchOptions, ScaleForms) {
@@ -34,17 +47,62 @@ TEST(BenchOptions, CsvAndPlot) {
   EXPECT_EQ(parse({"--plot=stem"}).plot_stem, "stem");
 }
 
-TEST(BenchOptions, UnknownFlagsAreIgnored) {
-  const auto opt = parse({"--frobnicate", "--csv"});
-  EXPECT_TRUE(opt.csv);
+TEST(BenchOptions, JobsForms) {
+  EXPECT_EQ(parse({"--jobs", "4"}).jobs, 4);
+  EXPECT_EQ(parse({"--jobs=2"}).jobs, 2);
+  // Negative never reaches the runner; clamps to "auto".
+  EXPECT_EQ(parse({"--jobs", "-7"}).jobs, 0);
 }
 
-TEST(BenchOptions, TrailingValuelessFlagsAreSafe) {
-  // "--scale" and "--plot" with no following value must not read past argv.
-  const auto a = parse({"--scale"});
-  EXPECT_EQ(a.scale, 1u);
-  const auto b = parse({"--plot"});
-  EXPECT_TRUE(b.plot_stem.empty());
+TEST(BenchOptions, QuickRaisesScaleToSmokeSize) {
+  EXPECT_EQ(parse({"--quick"}).scale, 32u);
+  EXPECT_TRUE(parse({"--quick"}).quick);
+  // --quick is a floor, not an override: a bigger explicit scale survives.
+  EXPECT_EQ(parse({"--quick", "--scale", "64"}).scale, 64u);
+  EXPECT_EQ(parse({"--scale", "4", "--quick"}).scale, 32u);
+}
+
+TEST(BenchOptions, JsonControls) {
+  EXPECT_EQ(parse({"--json", "/tmp/out.json"}).json_path, "/tmp/out.json");
+  EXPECT_EQ(parse({"--json=rec.json"}).json_path, "rec.json");
+  EXPECT_FALSE(parse({"--no-json"}).json);
+  EXPECT_TRUE(parse({}).json);
+}
+
+TEST(BenchOptions, HelpIsFlagged) {
+  EXPECT_TRUE(parse({"--help"}).help);
+  EXPECT_TRUE(parse({"-h"}).help);
+}
+
+TEST(BenchOptions, UnknownFlagsAreRejected) {
+  std::string error;
+  EXPECT_FALSE(try_parse({"--frobnicate", "--csv"}, &error).has_value());
+  EXPECT_NE(error.find("--frobnicate"), std::string::npos);
+  EXPECT_NE(error.find("unknown option"), std::string::npos);
+}
+
+TEST(BenchOptions, PositionalArgumentsAreRejected) {
+  std::string error;
+  EXPECT_FALSE(try_parse({"extra"}, &error).has_value());
+  EXPECT_NE(error.find("unexpected argument"), std::string::npos);
+}
+
+TEST(BenchOptions, TrailingValuelessFlagsAreErrors) {
+  // "--scale" etc. with no following value must not read past argv — and,
+  // unlike the old lenient parser, must say so instead of guessing.
+  for (const char* flag : {"--scale", "--plot", "--jobs", "--json"}) {
+    std::string error;
+    EXPECT_FALSE(try_parse({flag}, &error).has_value()) << flag;
+    EXPECT_NE(error.find("requires a value"), std::string::npos) << flag;
+  }
+}
+
+TEST(BenchOptions, BenchNameComesFromArgvBasename) {
+  std::vector<const char*> args = {"/build/bench/fig2_xsede", "--csv"};
+  const auto opt = try_parse_options(static_cast<int>(args.size()),
+                                     const_cast<char**>(args.data()), nullptr);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(opt->bench_name, "fig2_xsede");
 }
 
 }  // namespace

@@ -63,6 +63,34 @@ TEST(Simulation, CancelInvalidIdIsFalse) {
   EXPECT_FALSE(sim.cancel(EventId{}));
 }
 
+TEST(Simulation, CountersTrackScheduleFireCancelAndPeak) {
+  Simulation sim;
+  const auto id = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  sim.schedule_at(3.0, [] {});
+  EXPECT_EQ(sim.counters().scheduled, 3u);
+  EXPECT_EQ(sim.counters().peak_queue, 3u);
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_until();
+  EXPECT_EQ(sim.counters().scheduled, 3u);
+  EXPECT_EQ(sim.counters().fired, 2u);
+  EXPECT_EQ(sim.counters().cancelled, 1u);
+  EXPECT_EQ(sim.counters().ticks, 0u);
+  EXPECT_EQ(sim.counters().peak_queue, 3u);  // high-water mark sticks
+}
+
+TEST(Simulation, CountersTrackTickerOccurrences) {
+  Simulation sim;
+  int seen = 0;
+  sim.add_ticker(1.0, [&] { return ++seen < 4; });  // fires at t=1..4
+  sim.run_until();
+  EXPECT_EQ(seen, 4);
+  EXPECT_EQ(sim.counters().ticks, 4u);
+  EXPECT_EQ(sim.counters().fired, 4u);
+  // Each occurrence is scheduled individually (the initial arm + re-arms).
+  EXPECT_EQ(sim.counters().scheduled, 4u);
+}
+
 TEST(Simulation, RunUntilDeadlineStopsAndAdvancesClock) {
   Simulation sim;
   int count = 0;
