@@ -1,0 +1,324 @@
+// Core microbenchmark suite: the engine hot paths, self-timed, with the
+// event queue raced against the std::map implementation it replaced.
+//
+// Four series (BENCH_core.json, schema eadt-bench-v1, `micro` section):
+//   * event_queue_sched_fire_cancel — randomized schedule/fire/cancel churn
+//     on sim::Simulation vs the reference std::map queue (same op sequence;
+//     the speedup figure is the PR-over-PR perf gate);
+//   * ticker_churn — re-arm fast path: many concurrent tickers firing;
+//   * fair_share_rounds — net::fair_share_into with a warmed scratch;
+//   * session_ticks — whole TransferSession steady-state ticks per second.
+//
+// Wall-clock numbers are the *non-deterministic* side of the schema: the ops
+// counts are replay-stable, the rates are the perf trajectory.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "baselines/baselines.hpp"
+#include "bench_common.hpp"
+#include "net/fair_share.hpp"
+#include "proto/session.hpp"
+#include "sim/simulation.hpp"
+#include "testbeds/testbeds.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace eadt;
+
+volatile double g_sink = 0.0;  // defeats dead-code elimination
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The event engine this PR replaced, verbatim: a std::map over (time, seq)
+/// with eager cancellation, and tickers implemented as a shared_ptr registry
+/// whose re-arm closure is re-scheduled — i.e. a fresh std::function (heap
+/// clone: the closure outgrows the SBO buffer) plus a map node per
+/// occurrence. Kept here as the baseline the heap engine is raced against
+/// (the differential test in tests/test_simulation.cpp uses the same
+/// reference to check behaviour, op for op).
+class MapQueue {
+ public:
+  struct Id {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+  };
+
+  [[nodiscard]] double now() const { return now_; }
+
+  Id schedule_at(double t, std::function<void()> fn) {
+    const double when = std::max(t, now_);
+    const Id id{when, next_seq_++};
+    queue_.emplace(std::make_pair(when, id.seq), std::move(fn));
+    return id;
+  }
+
+  Id add_ticker(double interval, std::function<bool()> fn) {
+    const std::uint64_t key = next_seq_;  // seq the first occurrence will get
+    auto state = std::make_shared<TickerState>();
+    state->fn = std::move(fn);
+    state->rearm = [this, interval, key]() {
+      const auto it = tickers_.find(key);
+      if (it == tickers_.end()) return;  // cancelled while this firing was queued
+      const auto st = it->second;
+      if (!st->fn()) {
+        tickers_.erase(key);
+        return;
+      }
+      if (tickers_.count(key) != 0) {  // fn may have cancelled its own ticker
+        st->current = schedule_at(now_ + std::max(interval, 0.0), st->rearm);
+      }
+    };
+    tickers_.emplace(key, state);
+    state->current = schedule_at(now_ + std::max(interval, 0.0), state->rearm);
+    return state->current;
+  }
+
+  bool cancel(Id id) {
+    if (auto it = tickers_.find(id.seq); it != tickers_.end()) {
+      const Id current = it->second->current;
+      tickers_.erase(it);
+      queue_.erase({current.time, current.seq});
+      return true;
+    }
+    return queue_.erase({id.time, id.seq}) > 0;
+  }
+
+  std::uint64_t run_until(double deadline) {
+    std::uint64_t fired = 0;
+    while (!queue_.empty() && queue_.begin()->first.first <= deadline) {
+      const auto it = queue_.begin();
+      now_ = it->first.first;
+      auto fn = std::move(it->second);
+      queue_.erase(it);
+      fn();
+      ++fired;
+    }
+    return fired;
+  }
+
+ private:
+  struct TickerState {
+    Id current;
+    std::function<bool()> fn;
+    std::function<void()> rearm;
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::map<std::pair<double, std::uint64_t>, std::function<void()>> queue_;
+  std::map<std::uint64_t, std::shared_ptr<TickerState>> tickers_;
+};
+
+/// sim::Simulation behind the MapQueue interface, so both run the exact same
+/// churn loop. Both consume one seq per occurrence, so tie-breaks — and
+/// therefore the fired-event sequence — are identical.
+class HeapQueue {
+ public:
+  using Id = sim::EventId;
+  [[nodiscard]] double now() const { return sim_.now(); }
+  Id schedule_at(double t, std::function<void()> fn) {
+    return sim_.schedule_at(t, std::move(fn));
+  }
+  Id add_ticker(double interval, std::function<bool()> fn) {
+    return sim_.add_ticker(interval, std::move(fn));
+  }
+  bool cancel(Id id) { return sim_.cancel(id); }
+  std::uint64_t run_until(double deadline) { return sim_.run_until(deadline); }
+
+ private:
+  sim::Simulation sim_;
+};
+
+/// One deterministic session-shaped churn round-trip, mirroring what the
+/// golden counters say real runs look like (ticks dominate fired events and
+/// the queue stays shallow): every round starts a finite ticker, schedules a
+/// burst of one-shot control events, cancels a wave of remembered ids (some
+/// already fired, some mid-flight tickers — both implementations pay the
+/// same misses), then advances time so the live tickers fire. Returns the
+/// number of queue operations performed.
+template <typename Queue>
+std::uint64_t queue_churn(Queue& q, int rounds) {
+  Rng rng(0xC0DEC0DEULL);
+  std::vector<typename Queue::Id> ids;
+  ids.reserve(64);
+  std::uint64_t ops = 0;
+  int spin = 0;
+  const auto payload = [&] { ++spin; };
+  for (int r = 0; r < rounds; ++r) {
+    // ~6 tickers stay live in steady state (one added per round, each
+    // self-stopping after 64 occurrences), each firing ~10 times per round:
+    // ticks end up ~85% of fired events, like a session's counters.
+    {
+      auto left = 64;
+      ids.push_back(q.add_ticker(rng.uniform(0.05, 0.4),
+                                 [left, &spin]() mutable {
+                                   ++spin;
+                                   return --left > 0;
+                                 }));
+      ++ops;
+    }
+    for (int k = 0; k < 8; ++k) {
+      ids.push_back(q.schedule_at(q.now() + rng.uniform(0.0, 4.0), payload));
+      ++ops;
+    }
+    for (int k = 0; k < 3 && !ids.empty(); ++k) {
+      const std::size_t pick = rng.uniform_int(0, ids.size() - 1);
+      q.cancel(ids[pick]);
+      ++ops;
+      ids[pick] = ids.back();
+      ids.pop_back();
+    }
+    ops += q.run_until(q.now() + 2.0);
+  }
+  ops += q.run_until(1e18);  // drain: every ticker self-stops
+  g_sink = static_cast<double>(spin);
+  return ops;
+}
+
+exp::MicroSample bench_event_queue(int rounds) {
+  // Untimed warm-up pass so both sides measure steady-state allocator and
+  // cache behaviour, not first-touch page faults.
+  {
+    HeapQueue w1;
+    queue_churn(w1, rounds / 8 + 1);
+    MapQueue w2;
+    queue_churn(w2, rounds / 8 + 1);
+  }
+  HeapQueue heap;
+  auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t ops = queue_churn(heap, rounds);
+  const double heap_ms = ms_since(t0);
+
+  MapQueue map;
+  t0 = std::chrono::steady_clock::now();
+  const std::uint64_t map_ops = queue_churn(map, rounds);
+  const double map_ms = ms_since(t0);
+  if (map_ops != ops) {
+    std::cerr << "FATAL: baseline executed a different op count (" << map_ops
+              << " vs " << ops << ")\n";
+    std::exit(1);
+  }
+
+  exp::MicroSample m;
+  m.name = "event_queue_sched_fire_cancel";
+  m.ops = ops;
+  m.wall_ms = heap_ms;
+  m.ops_per_sec = heap_ms > 0.0 ? static_cast<double>(ops) * 1000.0 / heap_ms : 0.0;
+  m.baseline_ops_per_sec =
+      map_ms > 0.0 ? static_cast<double>(ops) * 1000.0 / map_ms : 0.0;
+  m.speedup =
+      m.baseline_ops_per_sec > 0.0 ? m.ops_per_sec / m.baseline_ops_per_sec : 0.0;
+  return m;
+}
+
+exp::MicroSample bench_ticker_churn(int tickers, std::uint64_t fires_each) {
+  sim::Simulation sim;
+  for (int i = 0; i < tickers; ++i) {
+    auto left = fires_each;
+    sim.add_ticker(0.1 + 0.01 * static_cast<double>(i % 7),
+                   [left]() mutable { return --left > 0; });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_until();
+  const double ms = ms_since(t0);
+  g_sink = sim.now();
+
+  exp::MicroSample m;
+  m.name = "ticker_churn";
+  m.ops = sim.counters().ticks;
+  m.wall_ms = ms;
+  m.ops_per_sec = ms > 0.0 ? static_cast<double>(m.ops) * 1000.0 / ms : 0.0;
+  return m;
+}
+
+exp::MicroSample bench_fair_share(int calls) {
+  Rng rng(7);
+  std::vector<net::Demand> demands;
+  for (int i = 0; i < 64; ++i) {
+    demands.push_back({rng.uniform(1e8, 5e9), rng.uniform(1.0, 4.0)});
+  }
+  net::FairShareScratch scratch;
+  std::vector<BitsPerSecond> alloc;
+  double acc = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < calls; ++i) {
+    // Nudge the capacity per call so the loop cannot be folded away.
+    const double cap = gbps(10.0) + static_cast<double>(i % 97);
+    acc += net::fair_share_into(cap, demands, alloc, scratch);
+  }
+  const double ms = ms_since(t0);
+  g_sink = acc;
+
+  exp::MicroSample m;
+  m.name = "fair_share_rounds";
+  m.ops = static_cast<std::uint64_t>(calls);
+  m.wall_ms = ms;
+  m.ops_per_sec = ms > 0.0 ? static_cast<double>(m.ops) * 1000.0 / ms : 0.0;
+  return m;
+}
+
+exp::MicroSample bench_session_ticks(unsigned scale) {
+  auto t = testbeds::didclab();
+  t.recipe.total_bytes = std::max<Bytes>(t.recipe.total_bytes / scale, 64ULL << 20);
+  const auto ds = t.make_dataset();
+  proto::TransferSession session(t.env, ds, baselines::plan_promc(t.env, ds, 4));
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = session.run();
+  const double ms = ms_since(t0);
+  g_sink = res.duration;
+
+  exp::MicroSample m;
+  m.name = "session_ticks";
+  m.ops = res.sim_counters.ticks;
+  m.wall_ms = ms;
+  m.ops_per_sec = ms > 0.0 ? static_cast<double>(m.ops) * 1000.0 / ms : 0.0;
+  return m;
+}
+
+void print_sample(const exp::MicroSample& m) {
+  std::cout << "  " << m.name << ": " << m.ops << " ops in " << m.wall_ms << " ms  ("
+            << static_cast<std::uint64_t>(m.ops_per_sec) << " ops/s";
+  if (m.baseline_ops_per_sec > 0.0) {
+    std::cout << ", std::map baseline " << static_cast<std::uint64_t>(m.baseline_ops_per_sec)
+              << " ops/s, speedup " << m.speedup << "x";
+  }
+  std::cout << ")\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  // --quick raises scale to >= 32, which also shrinks the op counts below.
+  const int div = opt.scale > 1 ? 8 : 1;
+
+  std::cout << "== core microbenchmarks ==\n";
+  exp::BenchRecord record;
+  record.name = "core";  // BENCH_core.json, whatever the binary is called
+  const auto t0 = std::chrono::steady_clock::now();
+
+  record.micro.push_back(bench_event_queue(20000 / div));
+  print_sample(record.micro.back());
+  record.micro.push_back(bench_ticker_churn(64, static_cast<std::uint64_t>(40000 / div)));
+  print_sample(record.micro.back());
+  record.micro.push_back(bench_fair_share(200000 / div));
+  print_sample(record.micro.back());
+  record.micro.push_back(bench_session_ticks(opt.scale));
+  print_sample(record.micro.back());
+
+  record.total_wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  bench::write_bench_record(opt, std::move(record));
+  return 0;
+}

@@ -2,6 +2,7 @@
 // curve fits). Reports search cost (windows spent probing), the level each
 // method commits to, and how that level's standalone efficiency compares to
 // the brute-force optimum on all three testbeds.
+#include <map>
 #include <iostream>
 
 #include "bench_common.hpp"

@@ -2,6 +2,7 @@
 // noise? Each seed adds 10 % multiplicative per-tick rate jitter (bursty
 // cross-traffic, storage hiccups) and reruns the XSEDE comparison; the table
 // reports means, spreads, and how often each ordering held.
+#include <map>
 #include <chrono>
 #include <iostream>
 

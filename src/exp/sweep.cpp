@@ -266,7 +266,22 @@ void write_bench_json(std::ostream& os, const BenchRecord& record) {
     json_task(os, record.tasks[i]);
     os << (i + 1 < record.tasks.size() ? ",\n" : "\n");
   }
-  os << "  ]\n}\n";
+  os << "  ]";
+  if (!record.micro.empty()) {
+    os << ",\n  \"micro\": [\n";
+    for (std::size_t i = 0; i < record.micro.size(); ++i) {
+      const MicroSample& m = record.micro[i];
+      os << "    {\"name\":";
+      json_string(os, m.name);
+      os << ",\"ops\":" << m.ops << ",\"wall_ms\":" << jnum(m.wall_ms)
+         << ",\"ops_per_sec\":" << jnum(m.ops_per_sec)
+         << ",\"baseline_ops_per_sec\":" << jnum(m.baseline_ops_per_sec)
+         << ",\"speedup\":" << jnum(m.speedup) << "}";
+      os << (i + 1 < record.micro.size() ? ",\n" : "\n");
+    }
+    os << "  ]";
+  }
+  os << "\n}\n";
 }
 
 }  // namespace eadt::exp

@@ -116,10 +116,27 @@ class SweepRunner {
 
 // --- perf records ----------------------------------------------------------
 
+/// One microbenchmark series inside a BenchRecord: `ops` operations timed at
+/// `wall_ms`. `baseline_ops_per_sec` is non-zero when the series was raced
+/// against a reference implementation (e.g. the event queue vs a std::map
+/// queue), in which case `speedup` = ops_per_sec / baseline_ops_per_sec.
+/// Everything here is wall-clock derived, i.e. the non-deterministic side of
+/// the schema — the perf trajectory, not a correctness payload.
+struct MicroSample {
+  std::string name;       ///< e.g. "event_queue_sched_fire_cancel"
+  std::uint64_t ops = 0;  ///< operations performed
+  double wall_ms = 0.0;
+  double ops_per_sec = 0.0;
+  double baseline_ops_per_sec = 0.0;  ///< 0 when the series has no baseline
+  double speedup = 0.0;               ///< 0 when the series has no baseline
+};
+
 /// One bench invocation's machine-readable perf record: the grid, each
 /// task's deterministic result payload and simulation counters, and the
 /// (non-deterministic) wall times. Serialized to BENCH_<name>.json by the
-/// bench binaries — the repo's perf-trajectory file.
+/// bench binaries — the repo's perf-trajectory file. The `micro` section is
+/// emitted only when non-empty, so sweep records (and their goldens) are
+/// unchanged by its existence.
 struct BenchRecord {
   std::string name;          ///< bench binary stem, e.g. "fig2_xsede"
   std::string commit;        ///< git commit stamp (EADT_COMMIT overrides)
@@ -127,6 +144,7 @@ struct BenchRecord {
   unsigned scale = 1;
   double total_wall_ms = 0.0;
   std::vector<SweepTaskResult> tasks;
+  std::vector<MicroSample> micro;  ///< core_micro's series (empty for sweeps)
 };
 
 /// The commit stamp recorded in BenchRecords: $EADT_COMMIT if set, else the

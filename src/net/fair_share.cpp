@@ -1,17 +1,17 @@
 #include "net/fair_share.hpp"
 
-#include <algorithm>
 #include <numeric>
 
 namespace eadt::net {
 
-FairShareResult fair_share(BitsPerSecond capacity, std::span<const Demand> demands) {
-  FairShareResult out;
-  out.allocation.assign(demands.size(), 0.0);
-  if (demands.empty() || capacity <= 0.0) return out;
+BitsPerSecond fair_share_into(BitsPerSecond capacity, std::span<const Demand> demands,
+                              std::vector<BitsPerSecond>& allocation,
+                              FairShareScratch& scratch) {
+  allocation.assign(demands.size(), 0.0);
+  if (demands.empty() || capacity <= 0.0) return 0.0;
 
-  std::vector<std::size_t> active;
-  active.reserve(demands.size());
+  auto& active = scratch.active;
+  active.clear();
   for (std::size_t i = 0; i < demands.size(); ++i) {
     if (demands[i].cap > 0.0 && demands[i].weight > 0.0) active.push_back(i);
   }
@@ -20,39 +20,46 @@ FairShareResult fair_share(BitsPerSecond capacity, std::span<const Demand> deman
   // Progressive filling: each round gives every active channel its weighted
   // share; channels that hit their cap leave, freeing capacity for the rest.
   // Terminates in <= |demands| rounds because each round removes >= 1 channel
-  // or stops.
+  // or stops. Survivors are compacted toward the front of `active` in place
+  // (index order preserved), so a round costs O(|active|) with no copies.
   while (!active.empty() && remaining > 1e-9) {
     double weight_sum = 0.0;
     for (std::size_t i : active) weight_sum += demands[i].weight;
     if (weight_sum <= 0.0) break;
 
     bool someone_capped = false;
-    std::vector<std::size_t> still_active;
-    still_active.reserve(active.size());
+    std::size_t survivors = 0;
     const BitsPerSecond per_weight = remaining / weight_sum;
-    for (std::size_t i : active) {
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      const std::size_t i = active[k];
       const BitsPerSecond share = per_weight * demands[i].weight;
-      const BitsPerSecond headroom = demands[i].cap - out.allocation[i];
+      const BitsPerSecond headroom = demands[i].cap - allocation[i];
       if (headroom <= share) {
-        out.allocation[i] = demands[i].cap;
+        allocation[i] = demands[i].cap;
         remaining -= headroom;
         someone_capped = true;
       } else {
-        still_active.push_back(i);
+        active[survivors++] = i;
       }
     }
+    active.resize(survivors);
     if (!someone_capped) {
       // Nobody capped: everyone takes the fair share and we are done.
-      for (std::size_t i : still_active) {
-        out.allocation[i] += per_weight * demands[i].weight;
+      for (std::size_t i : active) {
+        allocation[i] += per_weight * demands[i].weight;
       }
       remaining = 0.0;
       break;
     }
-    active = std::move(still_active);
   }
 
-  out.total = std::accumulate(out.allocation.begin(), out.allocation.end(), 0.0);
+  return std::accumulate(allocation.begin(), allocation.end(), 0.0);
+}
+
+FairShareResult fair_share(BitsPerSecond capacity, std::span<const Demand> demands) {
+  FairShareResult out;
+  FairShareScratch scratch;
+  out.total = fair_share_into(capacity, demands, out.allocation, scratch);
   return out;
 }
 

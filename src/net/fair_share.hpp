@@ -6,6 +6,7 @@
 // and the residue is redistributed.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
@@ -22,6 +23,24 @@ struct FairShareResult {
   std::vector<BitsPerSecond> allocation;  ///< per-demand rate, same order
   BitsPerSecond total = 0.0;              ///< sum of allocations
 };
+
+/// Reusable workspace for fair_share_into. The allocator runs every tick for
+/// every disk pool and the shared link; holding the round-robin active set
+/// here (capacity preserved across calls) makes steady-state allocation
+/// heap-free. A scratch is cheap state, not a cache: results are identical
+/// whether it is fresh or reused.
+struct FairShareScratch {
+  std::vector<std::size_t> active;
+};
+
+/// Weighted max-min fair allocation of `capacity` across `demands`, written
+/// into `allocation` (resized to demands.size(); previous contents ignored).
+/// Returns the total. Bitwise-identical to fair_share() — same operations in
+/// the same order — but allocation-free once `allocation` and `scratch` have
+/// warmed to capacity.
+BitsPerSecond fair_share_into(BitsPerSecond capacity, std::span<const Demand> demands,
+                              std::vector<BitsPerSecond>& allocation,
+                              FairShareScratch& scratch);
 
 /// Weighted max-min fair allocation of `capacity` across `demands`.
 /// Properties (asserted by tests):

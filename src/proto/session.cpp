@@ -212,17 +212,20 @@ bool TransferSession::chunk_live(int chunk) const {
   });
 }
 
-std::vector<int> TransferSession::desired_allocation() const {
+const std::vector<int>& TransferSession::desired_allocation() {
   const std::size_t n_chunks = plan_.chunks.size();
-  std::vector<int> desired(n_chunks, 0);
+  auto& desired = scratch_.desired;
+  desired.assign(n_chunks, 0);
   const int total = effective_concurrency();
 
-  std::vector<int> busy_count(n_chunks, 0);
+  auto& busy_count = scratch_.busy_count;
+  busy_count.assign(n_chunks, 0);
   for (const auto& ch : channels_) {
     if (ch.chunk >= 0 && ch.busy) ++busy_count[static_cast<std::size_t>(ch.chunk)];
   }
   // A chunk can never usefully hold more channels than work items.
-  std::vector<int> capacity(n_chunks, 0);
+  auto& capacity = scratch_.capacity;
+  capacity.assign(n_chunks, 0);
   for (std::size_t i = 0; i < n_chunks; ++i) {
     capacity[i] = static_cast<int>(queues_[i].size()) + busy_count[i];
   }
@@ -254,7 +257,8 @@ std::vector<int> TransferSession::desired_allocation() const {
   }
 
   int budget = total;
-  std::vector<std::size_t> eligible;
+  auto& eligible = scratch_.eligible;
+  eligible.clear();
   if (plan_.steal == StealPolicy::kNonLargeOnly) {
     // The Large chunk never grows past its planned channel count (MinE's
     // energy rule); everyone else shares the rest. If the Large chunk is all
@@ -503,17 +507,19 @@ void TransferSession::revive_channels() {
 }
 
 void TransferSession::rebalance() {
-  const auto desired = desired_allocation();
+  const auto& desired = desired_allocation();
   const std::size_t n_chunks = plan_.chunks.size();
 
-  std::vector<int> have(n_chunks, 0);
+  auto& have = scratch_.have;
+  have.assign(n_chunks, 0);
   for (const auto& ch : channels_) {
     if (ch.chunk >= 0) ++have[static_cast<std::size_t>(ch.chunk)];
   }
 
   // Release surplus channels, idle ones first, then preempt busy ones
   // (preempted remainders go back to the front of the queue).
-  std::vector<std::size_t> free_slots;
+  auto& free_slots = scratch_.free_slots;
+  free_slots.clear();
   for (std::size_t c = 0; c < n_chunks; ++c) {
     int surplus = have[c] - desired[c];
     if (surplus <= 0) continue;
@@ -532,7 +538,8 @@ void TransferSession::rebalance() {
   }
 
   // Reassign freed channels to deficits; close what is left over.
-  std::vector<std::size_t> to_close;
+  auto& to_close = scratch_.to_close;
+  to_close.clear();
   std::size_t cursor = 0;
   for (std::size_t c = 0; c < n_chunks; ++c) {
     int deficit = desired[c] - have[c];
@@ -590,11 +597,18 @@ void TransferSession::allocate_rates() {
   const auto& path = env_.path;
   const BitsPerSecond window_cap = net::stream_window_cap(path);
 
-  // Per-server resident load (processes/threads), needed for CPU caps.
+  // Per-server resident load (processes/threads), needed for CPU caps. All
+  // working vectors live in scratch_ so a steady-state tick never allocates.
   const std::size_t ns = env_.source.servers.size();
   const std::size_t nd = env_.destination.servers.size();
-  std::vector<int> src_procs(ns, 0), src_threads(ns, 0);
-  std::vector<int> dst_procs(nd, 0), dst_threads(nd, 0);
+  auto& src_procs = scratch_.src_procs;
+  auto& src_threads = scratch_.src_threads;
+  auto& dst_procs = scratch_.dst_procs;
+  auto& dst_threads = scratch_.dst_threads;
+  src_procs.assign(ns, 0);
+  src_threads.assign(ns, 0);
+  dst_procs.assign(nd, 0);
+  dst_threads.assign(nd, 0);
   for (const auto& ch : channels_) {
     if (ch.down) continue;  // a dead connection holds no server processes
     ++src_procs[ch.src_server];
@@ -604,8 +618,10 @@ void TransferSession::allocate_rates() {
   }
 
   // Per-channel caps before disk: TCP windows and CPU shares on both ends.
-  std::vector<double> caps(channels_.size(), 0.0);
-  std::vector<double> duty(channels_.size(), 1.0);
+  auto& caps = scratch_.caps;
+  auto& duty = scratch_.duty;
+  caps.assign(channels_.size(), 0.0);
+  duty.assign(channels_.size(), 1.0);
   int total_streams = 0;
   for (std::size_t i = 0; i < channels_.size(); ++i) {
     auto& ch = channels_[i];
@@ -644,8 +660,10 @@ void TransferSession::allocate_rates() {
     for (std::size_t s = 0; s < servers.size(); ++s) {
       if (procs[s] <= 0) continue;
       const BitsPerSecond pool = host::disk_aggregate_bandwidth(servers[s].disk, procs[s]);
-      std::vector<net::Demand> d;
-      std::vector<std::size_t> idx;
+      auto& d = scratch_.pool_demands;
+      auto& idx = scratch_.pool_index;
+      d.clear();
+      idx.clear();
       for (std::size_t i = 0; i < channels_.size(); ++i) {
         const std::size_t at = source_side ? channels_[i].src_server
                                            : channels_[i].dst_server;
@@ -653,16 +671,17 @@ void TransferSession::allocate_rates() {
         d.push_back({caps[i], 1.0});
         idx.push_back(i);
       }
-      const auto share = net::fair_share(pool, d);
+      net::fair_share_into(pool, d, scratch_.pool_alloc, scratch_.fair_share);
       for (std::size_t k = 0; k < idx.size(); ++k) {
-        caps[idx[k]] = std::min(caps[idx[k]], share.allocation[k]);
+        caps[idx[k]] = std::min(caps[idx[k]], scratch_.pool_alloc[k]);
       }
     }
   };
   apply_disk_pool(env_.source.servers, true, src_procs);
   apply_disk_pool(env_.destination.servers, false, dst_procs);
 
-  std::vector<net::Demand> demands(channels_.size());
+  auto& demands = scratch_.link_demands;
+  demands.assign(channels_.size(), net::Demand{});
   double aggregate_demand = 0.0;
   for (std::size_t i = 0; i < channels_.size(); ++i) {
     if (!channels_[i].busy) continue;
@@ -672,7 +691,8 @@ void TransferSession::allocate_rates() {
 
   // Brownouts scale the shared link; 1.0 outside any fault window.
   const BitsPerSecond capacity = path.available_bandwidth() * path_factor_;
-  const auto shares = net::fair_share(capacity, demands);
+  auto& link_alloc = scratch_.link_alloc;
+  net::fair_share_into(capacity, demands, link_alloc, scratch_.fair_share);
   const double eff = net::congestion_efficiency(env_.congestion, aggregate_demand,
                                                 capacity, total_streams);
 
@@ -681,7 +701,7 @@ void TransferSession::allocate_rates() {
   // is capped so that even simultaneous bursts cannot exceed the link.
   double total_avg = 0.0;
   for (std::size_t i = 0; i < channels_.size(); ++i) {
-    total_avg += shares.allocation[i] * eff;
+    total_avg += link_alloc[i] * eff;
   }
   const double burst_cap =
       total_avg > 0.0 ? std::max(1.0, capacity / total_avg) : 1.0;
@@ -692,7 +712,7 @@ void TransferSession::allocate_rates() {
       jitter = std::max(0.1, 1.0 + jitter_rng_.normal(0.0, env_.rate_jitter_sd));
     }
     channels_[i].rate =
-        shares.allocation[i] * eff * std::min(1.0 / duty[i], burst_cap) * jitter;
+        link_alloc[i] * eff * std::min(1.0 / duty[i], burst_cap) * jitter;
   }
 
   // NIC ceilings per server: proportional scale-down if the *average* load
@@ -913,13 +933,25 @@ RunResult TransferSession::run(Controller* controller) {
     injector_->arm();
   }
 
+  // Sampling windows land every sample_interval: reserving them up front
+  // keeps steady-state ticks allocation-free (bounded so a week-long default
+  // guard does not pre-commit megabytes).
+  if (config_.sample_interval > 0.0) {
+    const double windows = config_.max_sim_time / config_.sample_interval + 2.0;
+    samples_.reserve(static_cast<std::size_t>(std::min(windows, 4096.0)));
+  }
+
   Seconds finish_time = config_.max_sim_time;
   bool completed = false;
   sim_.add_ticker(config_.tick, [this, &finish_time, &completed]() {
     if (sim_.now() > config_.max_sim_time) return false;
     const bool more = tick();
     if (!more) {
-      finish_time = sim_.now();
+      // The guard above admits ticks at t <= max_sim_time only, but ticker
+      // timestamps accumulate floating-point error; the clamp guarantees a
+      // finish time can never land even a fraction of a tick past the
+      // deadline (regression-tested in test_session.cpp).
+      finish_time = std::min(sim_.now(), config_.max_sim_time);
       completed = true;
     }
     return more;

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fair_share.hpp"
 #include "proto/checkpoint.hpp"
 #include "proto/environment.hpp"
 #include "proto/faults.hpp"
@@ -172,11 +173,31 @@ class TransferSession : private FaultHost {
     int failures = 0;  ///< consecutive faults on this slot (reset on completion)
   };
 
+  /// Per-tick workspace for allocate_rates(). Same lifetime as the session,
+  /// so every vector keeps its capacity between ticks and the steady-state
+  /// rate pipeline performs zero heap allocations (MODEL.md §11; pinned by
+  /// the alloc-guard test). Scratch only — never carries state across ticks.
+  struct RateScratch {
+    std::vector<int> src_procs, src_threads, dst_procs, dst_threads;
+    std::vector<double> caps, duty;
+    std::vector<net::Demand> pool_demands;      ///< one disk pool at a time
+    std::vector<std::size_t> pool_index;
+    std::vector<BitsPerSecond> pool_alloc;
+    std::vector<net::Demand> link_demands;      ///< the shared-link round
+    std::vector<BitsPerSecond> link_alloc;
+    net::FairShareScratch fair_share;
+    // rebalance() workspace: a dry queue triggers a rebalance every tick, so
+    // the channel-allocation round must be as allocation-free as the rates.
+    std::vector<int> desired, busy_count, capacity, have;
+    std::vector<std::size_t> eligible, free_slots, to_close;
+  };
+
   void rebalance();
   void open_channel(int chunk);
   void close_channel(std::size_t idx);      // requeues any in-flight remainder
   void assign_channel(Channel& ch, int chunk);
-  [[nodiscard]] std::vector<int> desired_allocation() const;
+  /// Returns scratch_.desired (stable until the next call).
+  [[nodiscard]] const std::vector<int>& desired_allocation();
   [[nodiscard]] bool chunk_live(int chunk) const;
   /// Non-transfer time around one file on this channel (server-side per-file
   /// cost, control-channel gap, congestion-window ramp).
@@ -221,6 +242,7 @@ class TransferSession : private FaultHost {
   std::size_t rr_src_ = 0, rr_dst_ = 0;  // round-robin placement cursors
 
   sim::Simulation sim_;
+  RateScratch scratch_;
   Rng jitter_rng_{1};  // reseeded from env.jitter_seed in the constructor
   Controller* controller_ = nullptr;
   SessionObserver* observer_ = nullptr;

@@ -1,87 +1,263 @@
 #include "sim/simulation.hpp"
 
 #include <algorithm>
-#include <memory>
+#include <cassert>
+#include <utility>
 
 namespace eadt::sim {
 
+Simulation::Simulation() {
+  // A session's steady queue is tiny (the ticker plus a handful of control
+  // events), but reserving up front keeps even the warm-up ticks off the
+  // allocator once the pool has grown.
+  heap_.reserve(64);
+  slab_.reserve(64);
+}
+
+std::uint32_t Simulation::alloc_slot() {
+  if (free_head_ != kNoIndex) {
+    const std::uint32_t s = free_head_;
+    free_head_ = slab_[s].next_free;
+    return s;
+  }
+  assert(slab_.size() < kSlotMask);
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void Simulation::release_slot(std::uint32_t slot) {
+  // Deliberately minimal — this runs once per fired event. seq = 0 turns
+  // every heap entry still pointing here into a tombstone; the generation
+  // bump invalidates outstanding EventIds. The callable is NOT cleared here:
+  // fire paths have already moved it out, and cancel() clears it explicitly
+  // (the next tenant's move-assignment would destroy any leftover anyway).
+  Node& n = slab_[slot];
+  ++n.gen;
+  n.seq = 0;
+  n.next_free = free_head_;
+  free_head_ = slot;
+}
+
+std::uint32_t Simulation::alloc_ticker() {
+  if (ticker_free_head_ != kNoIndex) {
+    const std::uint32_t t = ticker_free_head_;
+    ticker_free_head_ = tickers_[t].next_free;
+    return t;
+  }
+  tickers_.emplace_back();
+  return static_cast<std::uint32_t>(tickers_.size() - 1);
+}
+
+void Simulation::release_ticker(std::uint32_t t) {
+  TickerBody& b = tickers_[t];
+  b.fn = nullptr;  // release captured state now, as the old eager erase did
+  b.firing = false;
+  b.dead_after_fire = false;
+  b.next_free = ticker_free_head_;
+  ticker_free_head_ = t;
+}
+
+void Simulation::sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!entry_less(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulation::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const Entry e = heap_[i];
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (entry_less(heap_[c], heap_[best])) best = c;
+    }
+    if (!entry_less(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void Simulation::push_entry(const Entry& e) {
+  heap_.push_back(e);
+  sift_up(heap_.size() - 1);
+}
+
+void Simulation::pop_root() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+bool Simulation::prune_top() {
+  while (!heap_.empty()) {
+    if (entry_live(heap_.front())) return true;
+    pop_root();
+    --tombstones_;
+  }
+  return false;
+}
+
+void Simulation::maybe_compact() {
+  // Lazy cancellation must not let dead entries dominate: once tombstones
+  // exceed half the heap, filter them out in one O(n) rebuild.
+  if (heap_.size() < 32 || tombstones_ * 2 <= heap_.size()) return;
+  std::size_t w = 0;
+  for (const Entry& e : heap_) {
+    if (entry_live(e)) heap_[w++] = e;
+  }
+  heap_.resize(w);
+  if (w > 1) {
+    for (std::size_t i = (w - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
+  tombstones_ = 0;
+}
+
+namespace {
+
+/// Canonical bit pattern for a fire time: +0.0 is added so a negative zero
+/// (possible when scheduling exactly at t = -0.0) maps onto +0.0, keeping
+/// the unsigned-bit ordering consistent with numeric ordering.
+std::uint64_t time_bits(Seconds t) noexcept {
+  return std::bit_cast<std::uint64_t>(t + 0.0);
+}
+
+}  // namespace
+
 EventId Simulation::schedule_at(Seconds t, std::function<void()> fn) {
   const Seconds when = std::max(t, now_);
-  const EventId id{when, next_seq_++};
-  queue_.emplace(Key{id.time, id.seq}, std::move(fn));
+  assert(!(when < 0.0));
+  const std::uint32_t slot = alloc_slot();
+  Node& n = slab_[slot];
+  assert(next_seq_ >> (64 - kSlotBits) == 0);
+  n.seq = next_seq_++;
+  n.ticker = kNoIndex;
+  n.fn = std::move(fn);
+  push_entry(Entry{time_bits(when), n.seq << kSlotBits | slot});
   ++counters_.scheduled;
-  counters_.peak_queue = std::max<std::uint64_t>(counters_.peak_queue, queue_.size());
-  return id;
+  ++live_;
+  if (live_ > counters_.peak_queue) counters_.peak_queue = live_;
+  return EventId{when, n.seq, slot + 1, n.gen};
 }
 
 EventId Simulation::schedule_after(Seconds dt, std::function<void()> fn) {
   return schedule_at(now_ + std::max(dt, 0.0), std::move(fn));
 }
 
-struct Simulation::TickerState {
-  EventId current;
-  std::function<bool()> fn;
-  std::function<void()> rearm;
-};
-
-bool Simulation::cancel(EventId id) {
-  if (!id.valid()) return false;
-  // A ticker id resolves to its *current* occurrence, so cancelling works
-  // even after the ticker has re-armed itself any number of times.
-  if (auto it = tickers_.find(id.seq); it != tickers_.end()) {
-    const EventId current = it->second->current;
-    tickers_.erase(it);
-    counters_.cancelled += queue_.erase(Key{current.time, current.seq});
-    return true;
-  }
-  const bool erased = queue_.erase(Key{id.time, id.seq}) > 0;
-  counters_.cancelled += erased ? 1 : 0;
-  return erased;
+EventId Simulation::add_ticker(Seconds interval, std::function<bool()> fn) {
+  const Seconds when = now_ + std::max(interval, 0.0);
+  const std::uint32_t slot = alloc_slot();
+  const std::uint32_t t = alloc_ticker();
+  TickerBody& b = tickers_[t];
+  b.interval = interval;
+  b.fn = std::move(fn);
+  Node& n = slab_[slot];
+  n.seq = next_seq_++;
+  n.ticker = t;
+  push_entry(Entry{time_bits(when), n.seq << kSlotBits | slot});
+  ++counters_.scheduled;
+  ++live_;
+  if (live_ > counters_.peak_queue) counters_.peak_queue = live_;
+  return EventId{when, n.seq, slot + 1, n.gen};
 }
 
-EventId Simulation::add_ticker(Seconds interval, std::function<bool()> fn) {
-  // The re-arming closure captures only the registry key, never the state:
-  // ownership stays with tickers_, so cancel() can drop the whole ticker and
-  // any already-queued occurrence simply finds no entry and does nothing.
-  const std::uint64_t key = next_seq_;  // seq the first occurrence will get
-  auto state = std::make_shared<TickerState>();
-  state->fn = std::move(fn);
-  state->rearm = [this, interval, key]() {
-    const auto it = tickers_.find(key);
-    if (it == tickers_.end()) return;  // cancelled while this firing was queued
-    ++counters_.ticks;
-    const auto st = it->second;
-    if (!st->fn()) {
-      tickers_.erase(key);
-      return;
+bool Simulation::cancel(EventId id) {
+  if (!id.valid() || id.slot == 0 || id.slot > slab_.size()) return false;
+  const std::uint32_t slot = id.slot - 1;
+  Node& n = slab_[slot];
+  // The generation ties the id to one slab tenancy: it survives a ticker's
+  // re-arms (same tenancy) and goes stale the moment the slot is released.
+  if (n.gen != id.gen) return false;
+  if (n.ticker != kNoIndex) {
+    TickerBody& b = tickers_[n.ticker];
+    if (b.firing) {
+      // Cancelled from inside its own callback: the occurrence already left
+      // the heap, so there is nothing to tombstone — fire_top() drops the
+      // node once the callback returns, whatever it returns.
+      if (b.dead_after_fire) return false;
+      b.dead_after_fire = true;
+      return true;
     }
-    if (tickers_.count(key) != 0) {  // fn may have cancelled its own ticker
-      st->current = schedule_after(interval, st->rearm);
-    }
-  };
-  tickers_.emplace(key, state);
-  state->current = schedule_after(interval, state->rearm);
-  return state->current;
+    release_ticker(n.ticker);
+  } else {
+    if (n.seq != id.seq) return false;
+    n.fn = nullptr;  // release captured state now, as the old eager erase did
+  }
+  ++counters_.cancelled;
+  ++tombstones_;
+  --live_;
+  release_slot(slot);
+  maybe_compact();
+  return true;
+}
+
+void Simulation::fire_top() {
+  const Entry e = heap_.front();
+  pop_root();
+  now_ = e.time();
+  --live_;
+  ++counters_.fired;
+  const auto slot = static_cast<std::uint32_t>(e.key & kSlotMask);
+  Node& n = slab_[slot];
+
+  if (n.ticker == kNoIndex) {
+    // Release the slot before running the payload (mirroring the old
+    // erase-then-fire order), so the callback can schedule fresh events that
+    // recycle it immediately.
+    auto fn = std::move(n.fn);
+    release_slot(slot);
+    fn();
+    return;
+  }
+
+  // Ticker occurrence. The callable is moved to the stack for the call:
+  // callbacks may add tickers, growing the side slab under our feet, and a
+  // vector reallocation must not relocate a std::function mid-execution.
+  const std::uint32_t t = n.ticker;
+  ++counters_.ticks;
+  tickers_[t].firing = true;
+  auto fn = std::move(tickers_[t].fn);
+  const bool keep = fn();
+  TickerBody& b = tickers_[t];  // re-fetch: the side slab may have reallocated
+  b.firing = false;
+  if (!keep || b.dead_after_fire) {
+    release_ticker(t);
+    release_slot(slot);
+    return;
+  }
+  // Re-arm fast path: the fired node is re-pushed in place — fresh seq, same
+  // slot and generation, zero allocation.
+  b.fn = std::move(fn);
+  Node& n2 = slab_[slot];  // re-fetch: the callback may have grown the slab
+  n2.seq = next_seq_++;
+  const Seconds when = now_ + std::max(b.interval, 0.0);
+  push_entry(Entry{time_bits(when), n2.seq << kSlotBits | slot});
+  ++counters_.scheduled;
+  ++live_;
+  if (live_ > counters_.peak_queue) counters_.peak_queue = live_;
 }
 
 bool Simulation::step() {
-  if (queue_.empty()) return false;
-  auto it = queue_.begin();
-  now_ = it->first.first;
-  auto fn = std::move(it->second);
-  queue_.erase(it);
-  ++counters_.fired;
-  fn();
+  if (!prune_top()) return false;
+  fire_top();
   return true;
 }
 
 std::uint64_t Simulation::run_until(Seconds deadline) {
   std::uint64_t fired = 0;
-  while (!queue_.empty() && queue_.begin()->first.first <= deadline) {
-    step();
+  while (prune_top() && heap_.front().time() <= deadline) {
+    fire_top();
     ++fired;
   }
-  if (queue_.empty() && now_ < deadline && deadline < std::numeric_limits<double>::infinity()) {
+  if (live_ == 0 && now_ < deadline && deadline < std::numeric_limits<double>::infinity()) {
     now_ = deadline;
   }
   return fired;

@@ -1,0 +1,103 @@
+// Allocation guard for the engine's steady-state hot path.
+//
+// MODEL.md §11's invariant: once a session's scratch buffers have grown to
+// their working size, a steady-state tick — rate allocation, byte movement,
+// energy accounting, sampling, the ticker re-arm itself — performs zero heap
+// allocations. The proof is a counting replacement of the global operator
+// new/delete: a Controller snapshots the allocation counter at every
+// sampling window, and after the warm-up windows every delta must be zero.
+//
+// This lives in its own test binary: replacing global new/delete is
+// process-wide, and the counters must not be perturbed by (or perturb) the
+// main suite.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "proto/session.hpp"
+#include "test_env.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+// GCC pairs these against the default operator new and flags the free() as
+// mismatched; our replacement new above is malloc-backed, so it is not.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace eadt::proto {
+namespace {
+
+using testutil::dataset_of;
+using testutil::small_env;
+
+/// Snapshots the global allocation counter at every sampling window into a
+/// fixed-size buffer — the controller itself must not allocate mid-run.
+class AllocSnapshotController : public Controller {
+ public:
+  void on_sample(TransferSession& /*session*/, const SampleStats& /*stats*/) override {
+    if (count_ < kMax) snapshots_[count_++] = g_allocations.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t at(std::size_t i) const { return snapshots_[i]; }
+
+ private:
+  static constexpr std::size_t kMax = 256;
+  std::uint64_t snapshots_[kMax] = {};
+  std::size_t count_ = 0;
+};
+
+TEST(AllocGuard, SteadyStateTicksAreAllocationFree) {
+  const auto env = small_env();
+  // One file far larger than the deadline allows: the run never completes
+  // and never resolves a file mid-tick, so every window past warm-up is
+  // pure steady state.
+  const auto ds = dataset_of({100ULL * kGB});
+  TransferPlan plan;
+  Chunk all{SizeClass::kLarge, {0}, 100ULL * kGB};
+  plan.chunks.push_back(all);
+  plan.params.push_back({1, 1, 2});
+
+  SessionConfig cfg;
+  cfg.tick = 0.1;
+  cfg.sample_interval = 2.0;
+  cfg.max_sim_time = 120.0;
+
+  TransferSession session(env, ds, plan, cfg);
+  AllocSnapshotController ctl;
+  const auto r = session.run(&ctl);
+  EXPECT_FALSE(r.completed);
+
+  // ~60 windows; the first few may still grow scratch capacity (rate
+  // vectors, the event heap, the samples reserve) — after that, flat.
+  ASSERT_GE(ctl.count(), 16u);
+  const std::size_t warmup = 2;
+  for (std::size_t i = warmup + 1; i < ctl.count(); ++i) {
+    EXPECT_EQ(ctl.at(i) - ctl.at(i - 1), 0u)
+        << "heap allocation between sampling windows " << i - 1 << " and " << i;
+  }
+}
+
+}  // namespace
+}  // namespace eadt::proto

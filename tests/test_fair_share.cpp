@@ -87,5 +87,69 @@ TEST_P(FairShareProperty, Invariants) {
 
 INSTANTIATE_TEST_SUITE_P(RandomDemands, FairShareProperty, ::testing::Range(0, 25));
 
+// Raising one channel's weight (everything else fixed) must never reduce its
+// allocation, and must never increase anyone else's.
+TEST_P(FairShareProperty, WeightMonotonicity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const int n = static_cast<int>(rng.uniform_int(2, 16));
+  std::vector<Demand> d;
+  for (int i = 0; i < n; ++i) {
+    d.push_back({rng.uniform(1e8, 5e9), rng.uniform(0.5, 4.0)});
+  }
+  const double capacity = rng.uniform(1e8, 1e10);
+  const auto base = fair_share(capacity, d);
+
+  const auto bumped_idx = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+  d[bumped_idx].weight *= rng.uniform(1.5, 4.0);
+  const auto bumped = fair_share(capacity, d);
+
+  EXPECT_GE(bumped.allocation[bumped_idx], base.allocation[bumped_idx] - 1e-6);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (i == bumped_idx) continue;
+    EXPECT_LE(bumped.allocation[i], base.allocation[i] + 1e-6);
+  }
+}
+
+TEST(FairShare, AllZeroWeightsAllocateNothing) {
+  std::vector<Demand> d{{gbps(5.0), 0.0}, {gbps(3.0), 0.0}};
+  const auto r = fair_share(gbps(4.0), d);
+  EXPECT_DOUBLE_EQ(r.total, 0.0);
+  for (double a : r.allocation) EXPECT_DOUBLE_EQ(a, 0.0);
+}
+
+TEST(FairShare, AllZeroCapsAllocateNothing) {
+  std::vector<Demand> d{{0.0, 1.0}, {0.0, 2.0}};
+  const auto r = fair_share(gbps(4.0), d);
+  EXPECT_DOUBLE_EQ(r.total, 0.0);
+  for (double a : r.allocation) EXPECT_DOUBLE_EQ(a, 0.0);
+}
+
+// The scratch-reusing entry point is the allocating one's hot twin: whatever
+// state the scratch and output vectors carry over from previous (differently
+// sized) calls, the result must be bit-for-bit what fair_share computes.
+TEST(FairShare, ScratchReuseIsBitwiseIdentical) {
+  Rng rng(4242);
+  FairShareScratch scratch;
+  std::vector<BitsPerSecond> alloc;
+  for (int round = 0; round < 200; ++round) {
+    const int n = static_cast<int>(rng.uniform_int(0, 32));
+    std::vector<Demand> d;
+    for (int i = 0; i < n; ++i) {
+      // Include degenerate channels so the in-place survivor compaction runs.
+      const double cap = rng.uniform(0.0, 1.0) < 0.1 ? 0.0 : rng.uniform(1e7, 5e9);
+      const double weight = rng.uniform(0.0, 1.0) < 0.1 ? 0.0 : rng.uniform(0.1, 4.0);
+      d.push_back({cap, weight});
+    }
+    const double capacity = rng.uniform(0.0, 1e10);
+    const auto reference = fair_share(capacity, d);
+    const double total = fair_share_into(capacity, d, alloc, scratch);
+    ASSERT_EQ(alloc.size(), reference.allocation.size());
+    for (std::size_t i = 0; i < alloc.size(); ++i) {
+      ASSERT_EQ(alloc[i], reference.allocation[i]) << "round " << round << " ch " << i;
+    }
+    ASSERT_EQ(total, reference.total) << "round " << round;
+  }
+}
+
 }  // namespace
 }  // namespace eadt::net

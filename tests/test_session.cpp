@@ -231,6 +231,69 @@ TEST(Session, EmptyDatasetCompletesImmediately) {
   EXPECT_EQ(r.bytes, 0u);
 }
 
+// --- end-of-run fractional-tick guard --------------------------------------
+// Ticker timestamps accumulate floating-point error (0.1 is not a binary
+// fraction), so after thousands of re-arms a tick can land epsilon past the
+// deadline. The run() guard plus the finish-time clamp must keep every
+// reported time within max_sim_time, to the last bit.
+
+TEST(Session, InterruptedRunEndsExactlyAtMaxSimTime) {
+  const auto env = small_env();
+  const auto ds = dataset_of({2000 * kMB, 2000 * kMB});  // cannot finish in time
+  SessionConfig cfg;
+  cfg.tick = 0.1;
+  cfg.max_sim_time = 10.05;  // deliberately not a multiple of the tick
+  cfg.sample_interval = 1.0;
+  TransferSession s(env, ds, one_chunk_plan(ds, 2), cfg);
+  const auto r = s.run();
+  EXPECT_FALSE(r.completed);
+  EXPECT_DOUBLE_EQ(r.duration, 10.05);
+  ASSERT_FALSE(r.samples.empty());
+  for (const auto& sample : r.samples) {
+    EXPECT_LE(sample.window_end, cfg.max_sim_time);
+  }
+}
+
+TEST(Session, CompletedRunNeverReportsPastMaxSimTime) {
+  const auto env = small_env();
+  const auto ds = dataset_of({20 * kMB, 20 * kMB});
+  SessionConfig cfg;
+  cfg.tick = 0.1;
+  // Tight but sufficient deadline: the transfer completes within a tick or
+  // two of the cutoff, exactly where an unclamped fractional tick would
+  // report duration > max_sim_time.
+  TransferSession probe(env, ds, one_chunk_plan(ds, 2), cfg);
+  const double needed = probe.run().duration;
+  cfg.max_sim_time = needed + cfg.tick / 2.0;
+  TransferSession s(env, ds, one_chunk_plan(ds, 2), cfg);
+  const auto r = s.run();
+  EXPECT_TRUE(r.completed);
+  EXPECT_LE(r.duration, cfg.max_sim_time);
+  for (const auto& sample : r.samples) {
+    EXPECT_LE(sample.window_end, cfg.max_sim_time);
+  }
+}
+
+TEST(Session, LongRunTickAccumulationStaysClamped) {
+  // ~1200 re-arms of a 0.1 s ticker: now() drifts well above one ulp from
+  // the nominal k*0.1 grid, so an unclamped finish time would exceed the
+  // deadline. Checkpoints must obey the same bound.
+  const auto env = small_env();
+  const auto ds = dataset_of({20ULL * kGB, 20ULL * kGB});  // ~160 s each at 1 Gbps
+  SessionConfig cfg;
+  cfg.tick = 0.1;
+  cfg.max_sim_time = 120.0;
+  cfg.checkpoint_interval = 7.3;
+  TransferSession s(env, ds, one_chunk_plan(ds, 1), cfg);
+  std::vector<Seconds> stamps;
+  s.set_checkpoint_sink([&](const TransferCheckpoint& c) { stamps.push_back(c.taken_at); });
+  const auto r = s.run();
+  EXPECT_FALSE(r.completed);
+  EXPECT_DOUBLE_EQ(r.duration, 120.0);
+  ASSERT_FALSE(stamps.empty());
+  for (const Seconds t : stamps) EXPECT_LE(t, cfg.max_sim_time);
+}
+
 TEST(Session, EnergySplitsAcrossBothEndpoints) {
   const auto env = small_env();
   const auto ds = dataset_of({100 * kMB, 100 * kMB});

@@ -2,7 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <utility>
 #include <vector>
+
+#include "util/rng.hpp"
 
 namespace eadt::sim {
 namespace {
@@ -183,6 +192,229 @@ TEST(Simulation, StepReturnsFalseWhenEmpty) {
   sim.schedule_at(1.0, [] {});
   EXPECT_TRUE(sim.step());
   EXPECT_FALSE(sim.step());
+}
+
+// --- differential stress: heap engine vs the std::map reference ------------
+
+/// The engine this PR replaced, verbatim (std::map queue, eager cancel,
+/// self-re-scheduling ticker closures in a shared_ptr registry), including
+/// its counter discipline. The heap engine must be observationally
+/// indistinguishable from this under arbitrary op sequences — that is what
+/// keeps every golden BENCH payload byte-identical.
+class RefSim {
+ public:
+  [[nodiscard]] Seconds now() const noexcept { return now_; }
+
+  EventId schedule_at(Seconds t, std::function<void()> fn) {
+    const Seconds when = std::max(t, now_);
+    const EventId id{when, next_seq_++};
+    queue_.emplace(Key{id.time, id.seq}, std::move(fn));
+    ++counters_.scheduled;
+    counters_.peak_queue = std::max<std::uint64_t>(counters_.peak_queue, queue_.size());
+    return id;
+  }
+
+  EventId schedule_after(Seconds dt, std::function<void()> fn) {
+    return schedule_at(now_ + std::max(dt, 0.0), std::move(fn));
+  }
+
+  bool cancel(EventId id) {
+    if (!id.valid()) return false;
+    if (auto it = tickers_.find(id.seq); it != tickers_.end()) {
+      const EventId current = it->second->current;
+      tickers_.erase(it);
+      counters_.cancelled += queue_.erase(Key{current.time, current.seq});
+      return true;
+    }
+    const bool erased = queue_.erase(Key{id.time, id.seq}) > 0;
+    counters_.cancelled += erased ? 1 : 0;
+    return erased;
+  }
+
+  EventId add_ticker(Seconds interval, std::function<bool()> fn) {
+    const std::uint64_t key = next_seq_;  // seq the first occurrence will get
+    auto state = std::make_shared<TickerState>();
+    state->fn = std::move(fn);
+    state->rearm = [this, interval, key]() {
+      const auto it = tickers_.find(key);
+      if (it == tickers_.end()) return;
+      ++counters_.ticks;
+      const auto st = it->second;
+      if (!st->fn()) {
+        tickers_.erase(key);
+        return;
+      }
+      if (tickers_.count(key) != 0) {
+        st->current = schedule_after(interval, st->rearm);
+      }
+    };
+    tickers_.emplace(key, state);
+    state->current = schedule_after(interval, state->rearm);
+    return state->current;
+  }
+
+  bool step() {
+    if (queue_.empty()) return false;
+    auto it = queue_.begin();
+    now_ = it->first.first;
+    auto fn = std::move(it->second);
+    queue_.erase(it);
+    ++counters_.fired;
+    fn();
+    return true;
+  }
+
+  std::uint64_t run_until(Seconds deadline = std::numeric_limits<double>::infinity()) {
+    std::uint64_t fired = 0;
+    while (!queue_.empty() && queue_.begin()->first.first <= deadline) {
+      step();
+      ++fired;
+    }
+    if (queue_.empty() && now_ < deadline &&
+        deadline < std::numeric_limits<double>::infinity()) {
+      now_ = deadline;
+    }
+    return fired;
+  }
+
+  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+  [[nodiscard]] const SimCounters& counters() const noexcept { return counters_; }
+
+ private:
+  using Key = std::pair<Seconds, std::uint64_t>;
+  struct TickerState {
+    EventId current;
+    std::function<bool()> fn;
+    std::function<void()> rearm;
+  };
+
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  SimCounters counters_;
+  std::map<Key, std::function<void()>> queue_;
+  std::map<std::uint64_t, std::shared_ptr<TickerState>> tickers_;
+};
+
+/// One observable moment: which payload ran (or what an operation returned)
+/// and the simulated clock when it happened.
+struct TraceEvent {
+  int tag = 0;
+  Seconds at = 0.0;
+  bool operator==(const TraceEvent&) const = default;
+};
+
+/// Replays a seed-derived op script against an engine and records everything
+/// observable. The script's decisions depend only on the Rng stream and op
+/// index — never on engine internals — so both engines receive an identical
+/// sequence of calls, and any behavioural difference shows up in the trace.
+template <typename Engine>
+std::vector<TraceEvent> replay_script(Engine& eng, std::uint64_t seed, int ops) {
+  Rng rng(seed);
+  std::vector<TraceEvent> trace;
+  std::vector<EventId> ids;
+  int next_tag = 1;
+  for (int op = 0; op < ops; ++op) {
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.40) {
+      // One-shot. Half the times are quantized to 0.5 s steps so distinct
+      // schedules collide on the same timestamp and exercise the seq
+      // tie-break.
+      double t = eng.now() + rng.uniform(0.0, 10.0);
+      if (rng.uniform(0.0, 1.0) < 0.5) t = 0.5 * static_cast<int>(t * 2.0);
+      const int tag = next_tag++;
+      ids.push_back(eng.schedule_at(
+          t, [tag, &trace, &eng] { trace.push_back({tag, eng.now()}); }));
+    } else if (roll < 0.50) {
+      const double interval = rng.uniform(0.1, 2.0);
+      auto left = static_cast<int>(rng.uniform_int(1, 8));
+      const int tag = next_tag++;
+      ids.push_back(eng.add_ticker(interval, [tag, left, &trace, &eng]() mutable {
+        trace.push_back({tag, eng.now()});
+        return --left > 0;
+      }));
+    } else if (roll < 0.70 && !ids.empty()) {
+      const std::size_t pick = rng.uniform_int(0, ids.size() - 1);
+      const bool ok = eng.cancel(ids[pick]);
+      trace.push_back({ok ? -1 : -2, eng.now()});
+      ids[pick] = ids.back();
+      ids.pop_back();
+    } else {
+      const auto fired = eng.run_until(eng.now() + rng.uniform(0.0, 5.0));
+      trace.push_back({-3 - static_cast<int>(fired), eng.now()});
+    }
+  }
+  eng.run_until(eng.now() + 1e6);  // drain (tickers all self-stop)
+  trace.push_back({0, eng.now()});
+  return trace;
+}
+
+class SimulationDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimulationDifferential, HeapMatchesMapReferenceOpForOp) {
+  const auto seed = static_cast<std::uint64_t>(0x5EED0000 + GetParam());
+  // 4 script instances x 25k ops = 100k randomized schedule/cancel/ticker ops.
+  constexpr int kOps = 25000;
+
+  Simulation heap_eng;
+  const auto heap_trace = replay_script(heap_eng, seed, kOps);
+  RefSim map_eng;
+  const auto map_trace = replay_script(map_eng, seed, kOps);
+
+  ASSERT_EQ(heap_trace.size(), map_trace.size());
+  for (std::size_t i = 0; i < heap_trace.size(); ++i) {
+    ASSERT_EQ(heap_trace[i], map_trace[i]) << "first divergence at trace index " << i;
+  }
+  EXPECT_DOUBLE_EQ(heap_eng.now(), map_eng.now());
+  EXPECT_EQ(heap_eng.pending_events(), map_eng.pending_events());
+  EXPECT_EQ(heap_eng.counters().scheduled, map_eng.counters().scheduled);
+  EXPECT_EQ(heap_eng.counters().fired, map_eng.counters().fired);
+  EXPECT_EQ(heap_eng.counters().cancelled, map_eng.counters().cancelled);
+  EXPECT_EQ(heap_eng.counters().ticks, map_eng.counters().ticks);
+  EXPECT_EQ(heap_eng.counters().peak_queue, map_eng.counters().peak_queue);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScripts, SimulationDifferential, ::testing::Range(0, 4));
+
+// Heavy lazy-cancellation pressure: most scheduled events die before firing,
+// so the heap crosses its tombstone-compaction threshold many times. The
+// survivors must still fire in exact (time, seq) order.
+TEST(Simulation, CompactionPreservesOrderUnderMassCancel) {
+  Simulation sim;
+  Rng rng(99);
+  std::vector<EventId> doomed;
+  std::vector<int> fired;
+  std::vector<int> expected;
+  std::vector<std::pair<double, int>> survivors;
+  for (int i = 0; i < 2000; ++i) {
+    const double t = rng.uniform(0.0, 100.0);
+    if (i % 5 == 0) {
+      survivors.push_back({t, i});
+      sim.schedule_at(t, [i, &fired] { fired.push_back(i); });
+    } else {
+      doomed.push_back(sim.schedule_at(t, [] { FAIL() << "cancelled event fired"; }));
+    }
+  }
+  for (const auto& id : doomed) EXPECT_TRUE(sim.cancel(id));
+  std::stable_sort(survivors.begin(), survivors.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [t, i] : survivors) expected.push_back(i);
+  sim.run_until();
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(sim.counters().cancelled, doomed.size());
+  EXPECT_EQ(sim.counters().fired, survivors.size());
+}
+
+// The slab recycles released slots: ids from a dead tenancy must never
+// cancel the slot's next tenant.
+TEST(Simulation, StaleIdDoesNotCancelRecycledSlot) {
+  Simulation sim;
+  bool fired = false;
+  const auto old_id = sim.schedule_at(1.0, [] {});
+  ASSERT_TRUE(sim.cancel(old_id));
+  sim.schedule_at(2.0, [&] { fired = true; });  // reuses the released slot
+  EXPECT_FALSE(sim.cancel(old_id));             // stale generation
+  sim.run_until();
+  EXPECT_TRUE(fired);
 }
 
 }  // namespace
