@@ -5,11 +5,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "exp/report.hpp"
+#include "obs/obs.hpp"
 
 namespace eadt::bench {
 
@@ -38,7 +40,12 @@ void print_usage(std::ostream& os) {
         "              results are bit-identical for every N\n"
         "  --quick     smoke preset: raises --scale to at least 32\n"
         "  --json PATH write the perf record there instead of BENCH_<name>.json\n"
-        "  --no-json   skip the BENCH_<name>.json perf record\n";
+        "  --no-json   skip the BENCH_<name>.json perf record\n"
+        "  --trace-out PATH    write a Chrome trace-event JSON of the sweep\n"
+        "                      (open in ui.perfetto.dev or chrome://tracing)\n"
+        "  --metrics-out PATH  write the metrics registry as JSON; the same\n"
+        "                      snapshot is merged into the BENCH record\n"
+        "  --decisions PATH    write the algorithm decision log as JSON\n";
 }
 
 std::optional<Options> try_parse_options(int argc, char** argv, std::string* error) {
@@ -84,6 +91,24 @@ std::optional<Options> try_parse_options(int argc, char** argv, std::string* err
       opt.json_path = *v;
     } else if (arg.rfind("--json=", 0) == 0) {
       opt.json_path = std::string(arg.substr(7));
+    } else if (arg == "--trace-out") {
+      const auto v = value_of();
+      if (!v) return fail("--trace-out requires a value");
+      opt.trace_out = *v;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      opt.trace_out = std::string(arg.substr(12));
+    } else if (arg == "--metrics-out") {
+      const auto v = value_of();
+      if (!v) return fail("--metrics-out requires a value");
+      opt.metrics_out = *v;
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      opt.metrics_out = std::string(arg.substr(14));
+    } else if (arg == "--decisions") {
+      const auto v = value_of();
+      if (!v) return fail("--decisions requires a value");
+      opt.decisions_out = *v;
+    } else if (arg.rfind("--decisions=", 0) == 0) {
+      opt.decisions_out = std::string(arg.substr(12));
     } else if (arg == "--help" || arg == "-h") {
       opt.help = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -153,6 +178,30 @@ testbeds::Testbed scaled(testbeds::Testbed t, unsigned divisor) {
   return t;
 }
 
+/// A collector only when some --*-out flag asks for one; a null collector
+/// keeps SweepTask.obs null, i.e. the zero-cost unobserved path.
+std::unique_ptr<obs::ObsCollector> make_collector(const Options& opt) {
+  return opt.observing() ? std::make_unique<obs::ObsCollector>() : nullptr;
+}
+
+void write_obs_outputs(const Options& opt, const obs::ObsCollector& collector) {
+  if (!opt.trace_out.empty()) {
+    std::ofstream os(opt.trace_out);
+    collector.write_chrome_trace(os);
+    std::cout << "wrote " << opt.trace_out << " (Chrome trace; open in ui.perfetto.dev)\n";
+  }
+  if (!opt.metrics_out.empty()) {
+    std::ofstream os(opt.metrics_out);
+    collector.write_metrics_json(os);
+    std::cout << "wrote " << opt.metrics_out << " (metrics registry)\n";
+  }
+  if (!opt.decisions_out.empty()) {
+    std::ofstream os(opt.decisions_out);
+    collector.write_decisions_json(os);
+    std::cout << "wrote " << opt.decisions_out << " (algorithm decision log)\n";
+  }
+}
+
 }  // namespace
 
 void run_concurrency_figure(const testbeds::Testbed& base, const Options& opt) {
@@ -166,6 +215,7 @@ void run_concurrency_figure(const testbeds::Testbed& base, const Options& opt) {
   // Declarative grid: one task per unique run. GUC and GO do not take a
   // concurrency parameter, so they contribute one task each and their
   // outcome is replicated across the x-axis below.
+  const auto collector = make_collector(opt);
   std::vector<exp::SweepTask> tasks;
   std::vector<std::pair<exp::Algorithm, int>> keys;
   const auto add_task = [&](exp::Algorithm a, int level) {
@@ -174,6 +224,7 @@ void run_concurrency_figure(const testbeds::Testbed& base, const Options& opt) {
     task.dataset = dataset;
     task.algorithm = a;
     task.concurrency = level;
+    task.obs = collector.get();  // slot = submission index (one run() call)
     tasks.push_back(std::move(task));
     keys.emplace_back(a, level);
   };
@@ -298,6 +349,10 @@ void run_concurrency_figure(const testbeds::Testbed& base, const Options& opt) {
   exp::BenchRecord record;
   record.total_wall_ms = sweep_ms;
   record.tasks = results;
+  if (collector) {
+    write_obs_outputs(opt, *collector);
+    record.metrics = collector->metrics().snapshot();
+  }
   write_bench_record(opt, std::move(record));
 }
 
@@ -310,12 +365,16 @@ void run_sla_figure(const testbeds::Testbed& base, int promc_level, const Option
   const auto sweep_start = std::chrono::steady_clock::now();
 
   // The ProMC maximum calibrates every SLA target, so it runs first (a
-  // one-task sweep); the SLA grid then fans out in parallel.
+  // one-task sweep); the SLA grid then fans out in parallel. Two run() calls
+  // means auto slots would collide at 0, so every task gets an explicit one.
+  const auto collector = make_collector(opt);
   std::vector<exp::SweepTask> promc_tasks(1);
   promc_tasks[0].testbed = t;
   promc_tasks[0].dataset = dataset;
   promc_tasks[0].algorithm = exp::Algorithm::kProMc;
   promc_tasks[0].concurrency = promc_level;
+  promc_tasks[0].obs = collector.get();
+  promc_tasks[0].obs_slot = 0;
   auto promc_results = runner.run(promc_tasks);
   const auto& promc = promc_results[0].run;
   const BitsPerSecond max_thr = promc.result.avg_throughput();
@@ -332,6 +391,8 @@ void run_sla_figure(const testbeds::Testbed& base, int promc_level, const Option
     task.concurrency = 12;
     task.target_percent = target;
     task.max_throughput = max_thr;
+    task.obs = collector.get();
+    task.obs_slot = 1 + sla_tasks.size();
     sla_tasks.push_back(std::move(task));
   }
   const auto sla_results = runner.run(sla_tasks);
@@ -358,6 +419,10 @@ void run_sla_figure(const testbeds::Testbed& base, int promc_level, const Option
   for (const auto& r : sla_results) {
     record.tasks.push_back(r);
     record.tasks.back().index = record.tasks.size() - 1;
+  }
+  if (collector) {
+    write_obs_outputs(opt, *collector);
+    record.metrics = collector->metrics().snapshot();
   }
   write_bench_record(opt, std::move(record));
 }

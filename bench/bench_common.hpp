@@ -34,7 +34,19 @@ struct Options {
   /// Write the BENCH_<name>.json perf record (default on).
   bool json = true;
   std::string json_path;  ///< overrides the default BENCH_<name>.json
+  /// Observability exports, each off when empty: Chrome trace-event JSON
+  /// (loadable in ui.perfetto.dev), standalone metrics JSON, and the
+  /// algorithm decision log. Any non-empty path attaches an ObsCollector to
+  /// the sweep; with all three empty the run is observation-free and its
+  /// BENCH record is byte-identical to one from a build without obs.
+  std::string trace_out;
+  std::string metrics_out;
+  std::string decisions_out;
   bool help = false;
+
+  [[nodiscard]] bool observing() const noexcept {
+    return !trace_out.empty() || !metrics_out.empty() || !decisions_out.empty();
+  }
 };
 
 /// Strict parser: unknown flags, stray positional arguments and missing

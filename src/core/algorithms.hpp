@@ -23,6 +23,10 @@
 #include "proto/plan.hpp"
 #include "proto/session.hpp"
 
+namespace eadt::obs {
+class DecisionLog;
+}  // namespace eadt::obs
+
 namespace eadt::core {
 
 /// Chunk layout shared by every BDP-aware algorithm: partition by BDP, merge
@@ -30,15 +34,19 @@ namespace eadt::core {
 [[nodiscard]] proto::TransferPlan tuned_chunk_plan(const proto::Environment& env,
                                                    const proto::Dataset& dataset);
 
-/// Algorithm 1. `max_channels` is the paper's maxChannel input.
+/// Algorithm 1. `max_channels` is the paper's maxChannel input. A non-null
+/// `log` records the partition and the Small->Large channel walk (MODEL.md
+/// §12); planning decisions are stamped at t = 0.
 [[nodiscard]] proto::TransferPlan plan_min_energy(const proto::Environment& env,
                                                   const proto::Dataset& dataset,
-                                                  int max_channels);
+                                                  int max_channels,
+                                                  obs::DecisionLog* log = nullptr);
 
 /// Algorithm 2 static part: weighted channel allocation at `max_channels`.
 [[nodiscard]] proto::TransferPlan plan_htee(const proto::Environment& env,
                                             const proto::Dataset& dataset,
-                                            int max_channels);
+                                            int max_channels,
+                                            obs::DecisionLog* log = nullptr);
 
 /// Algorithm 2 dynamic part: the concurrency search.
 class HteeController final : public proto::Controller {
@@ -75,7 +83,8 @@ class HteeController final : public proto::Controller {
 /// chunk restricted to one channel until re-arrangement.
 [[nodiscard]] proto::TransferPlan plan_slaee(const proto::Environment& env,
                                              const proto::Dataset& dataset,
-                                             int max_channels);
+                                             int max_channels,
+                                             obs::DecisionLog* log = nullptr);
 
 class SlaeeController final : public proto::Controller {
  public:

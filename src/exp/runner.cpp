@@ -2,7 +2,18 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
+
 namespace eadt::exp {
+namespace {
+
+/// Planner decision sink for this run: the decisions member of the config's
+/// sinks, when observability is on.
+obs::DecisionLog* decision_log(const proto::SessionConfig& config) {
+  return config.obs != nullptr ? config.obs->decisions : nullptr;
+}
+
+}  // namespace
 
 const char* to_string(Algorithm a) noexcept {
   switch (a) {
@@ -52,14 +63,16 @@ RunOutcome run_algorithm(Algorithm algorithm, const testbeds::Testbed& testbed,
       out.result = execute(baselines::plan_single_chunk(env, dataset, max_channels));
       break;
     case Algorithm::kMinE:
-      out.result = execute(core::plan_min_energy(env, dataset, max_channels));
+      out.result =
+          execute(core::plan_min_energy(env, dataset, max_channels, decision_log(config)));
       break;
     case Algorithm::kProMc:
       out.result = execute(baselines::plan_promc(env, dataset, max_channels));
       break;
     case Algorithm::kHtee: {
       core::HteeController controller(max_channels);
-      out.result = execute(core::plan_htee(env, dataset, max_channels), &controller);
+      out.result = execute(core::plan_htee(env, dataset, max_channels, decision_log(config)),
+                           &controller);
       out.chosen_concurrency = controller.chosen_level();
       break;
     }
@@ -91,7 +104,8 @@ SlaOutcome run_slaee(const testbeds::Testbed& testbed, const proto::Dataset& dat
 
   core::SlaeeController controller(out.target_throughput, max_channels);
   proto::TransferSession session(
-      testbed.env, dataset, core::plan_slaee(testbed.env, dataset, max_channels), config);
+      testbed.env, dataset,
+      core::plan_slaee(testbed.env, dataset, max_channels, decision_log(config)), config);
   session.set_fault_plan(std::move(faults));
   if (checkpoints) session.set_checkpoint_sink(checkpoints);
   out.result = session.run(&controller);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "baselines/baselines.hpp"
+#include "obs/obs.hpp"
 
 namespace eadt::exp {
 
@@ -91,6 +92,18 @@ ServiceReport TransferService::run_queue(std::vector<TransferJob> jobs,
   }
   report.makespan = clock;
   if (completed_jobs > 0) report.mean_rate_fraction = rate_fraction_sum / completed_jobs;
+  if (config_.obs != nullptr && config_.obs->metrics != nullptr) {
+    auto& m = *config_.obs->metrics;
+    m.counter("service.jobs").add(report.jobs.size());
+    m.counter("service.jobs_failed").add(static_cast<std::uint64_t>(report.failed_jobs));
+    for (const auto& out : report.jobs) {
+      if (out.policy == JobPolicy::kSla && !out.sla_met) {
+        m.counter("service.sla_misses").add(1);
+      }
+      if (out.attempts > 1) m.counter("service.jobs_retried").add(1);
+    }
+    m.gauge("service.makespan_s").set_max(report.makespan);
+  }
   return report;
 }
 

@@ -8,8 +8,34 @@
 #include "core/algorithms.hpp"
 #include "core/energy_budget.hpp"
 #include "exp/service.hpp"
+#include "obs/obs.hpp"
 
 namespace eadt::exp {
+namespace {
+
+obs::DecisionKind decision_kind(RecoveryAction action) noexcept {
+  switch (action) {
+    case RecoveryAction::kResume: return obs::DecisionKind::kSupervisorRetry;
+    case RecoveryAction::kDeadlineAbort: return obs::DecisionKind::kSupervisorAbort;
+    case RecoveryAction::kReduceChannels:
+    case RecoveryAction::kPolicyFallback: return obs::DecisionKind::kSupervisorDegrade;
+    case RecoveryAction::kGiveUp: return obs::DecisionKind::kSupervisorGiveUp;
+  }
+  return obs::DecisionKind::kSupervisorGiveUp;
+}
+
+const char* action_metric(RecoveryAction action) noexcept {
+  switch (action) {
+    case RecoveryAction::kResume: return "supervisor.resumes";
+    case RecoveryAction::kDeadlineAbort: return "supervisor.deadline_aborts";
+    case RecoveryAction::kReduceChannels: return "supervisor.channel_reductions";
+    case RecoveryAction::kPolicyFallback: return "supervisor.policy_fallbacks";
+    case RecoveryAction::kGiveUp: return "supervisor.give_ups";
+  }
+  return "supervisor.unknown";
+}
+
+}  // namespace
 
 const char* to_string(RecoveryAction action) noexcept {
   switch (action) {
@@ -60,19 +86,20 @@ proto::RunResult Supervisor::attempt(const TransferJob& job, JobPolicy policy,
     return s.run(controller);
   };
 
+  obs::DecisionLog* decisions = config.obs != nullptr ? config.obs->decisions : nullptr;
   switch (policy) {
     case JobPolicy::kDeadline:
       return execute(baselines::plan_promc(env, job.dataset, cc));
     case JobPolicy::kGreen:
-      return execute(core::plan_min_energy(env, job.dataset, cc));
+      return execute(core::plan_min_energy(env, job.dataset, cc, decisions));
     case JobPolicy::kBalanced: {
       core::HteeController ctl(cc);
-      return execute(core::plan_htee(env, job.dataset, cc), &ctl);
+      return execute(core::plan_htee(env, job.dataset, cc, decisions), &ctl);
     }
     case JobPolicy::kSla: {
       const BitsPerSecond target = reference_rate_ * job.sla_percent / 100.0;
       core::SlaeeController ctl(target, cc);
-      return execute(core::plan_slaee(env, job.dataset, cc), &ctl);
+      return execute(core::plan_slaee(env, job.dataset, cc, decisions), &ctl);
     }
     case JobPolicy::kEnergyBudget: {
       core::EnergyBudgetController ctl(job.energy_budget, cc);
@@ -92,24 +119,72 @@ JobOutcome Supervisor::run(const TransferJob& job) const {
   int aborts_at_point = 0;
   std::optional<proto::TransferCheckpoint> journal;
 
+  obs::ObsSinks* obs = base_config_.obs;
   const auto log = [&](RecoveryAction action, int attempt_no, Seconds at,
                        std::string detail) {
     out.recovery.events.push_back(
-        {at, attempt_no, action, to_string(policy), channels, std::move(detail)});
+        {at, attempt_no, action, to_string(policy), channels, detail});
+    // Mirror every audited supervision decision into the observability layer,
+    // so traces and RecoveryLog never disagree about what the ladder did.
+    if (obs == nullptr) return;
+    if (obs->metrics != nullptr) obs->metrics->counter(action_metric(action)).add(1);
+    if (obs->decisions != nullptr) {
+      obs::Decision d;
+      d.at = at;
+      d.kind = decision_kind(action);
+      d.actor = "Supervisor";
+      d.level = channels;
+      d.chosen = channels;
+      d.subject = std::string(to_string(action)) + " (attempt " +
+                  std::to_string(attempt_no) + ", " + to_string(policy) + ")";
+      d.detail = std::move(detail);
+      obs->decisions->record(std::move(d));
+    }
   };
 
   for (int attempt_no = 1;; ++attempt_no) {
     out.attempts = attempt_no;
     proto::SessionConfig config = base_config_;
     if (policy_.attempt_deadline > 0.0) config.max_sim_time = policy_.attempt_deadline;
+    const Seconds attempt_start = journal ? journal->taken_at : 0.0;
+    if (obs != nullptr && obs->metrics != nullptr) {
+      obs->metrics->counter("supervisor.attempts").add(1);
+    }
+    if (obs != nullptr && obs->trace != nullptr) {
+      // Opened before the session's own transfer span so the two nest
+      // attempt > transfer on the control track.
+      obs->trace->begin(attempt_start, obs::kControlTid,
+                        obs->trace->intern("supervisor attempt " +
+                                           std::to_string(attempt_no) + " (" +
+                                           to_string(policy) + ")"),
+                        "supervisor", {"channels", static_cast<double>(channels)},
+                        {"attempt", static_cast<double>(attempt_no)});
+    }
     out.result = attempt(job, policy, channels, config, journal ? &*journal : nullptr);
+    if (obs != nullptr && obs->trace != nullptr) {
+      obs->trace->end(std::max(attempt_start, out.result.duration), obs::kControlTid);
+    }
 
     if (!out.result.error.empty()) {
       out.failed = true;
       log(RecoveryAction::kGiveUp, attempt_no, out.result.duration, out.result.error);
       break;
     }
-    if (out.result.completed) break;
+    if (out.result.completed) {
+      if (obs != nullptr && obs->decisions != nullptr) {
+        obs::Decision d;
+        d.at = out.result.duration;
+        d.kind = obs::DecisionKind::kSupervisorDone;
+        d.actor = "Supervisor";
+        d.level = channels;
+        d.chosen = channels;
+        d.subject = "job completed (attempt " + std::to_string(attempt_no) + ")";
+        d.detail = std::string("finished under the ") + to_string(policy) +
+                   " policy at " + std::to_string(channels) + " channels";
+        obs->decisions->record(std::move(d));
+      }
+      break;
+    }
 
     ++aborts_at_point;
     log(RecoveryAction::kDeadlineAbort, attempt_no, out.result.duration,

@@ -12,6 +12,9 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/obs.hpp"
+#include "util/json.hpp"
+
 namespace eadt::exp {
 
 namespace {
@@ -105,13 +108,35 @@ SweepTaskResult execute_task(const SweepTask& task, std::size_t index) {
     if (faults.active()) faults.seed = mix64(out.derived_seed);
   }
 
+  proto::SessionConfig config = task.config;
+  if (task.obs != nullptr) {
+    // The slot label is a pure function of the task's coordinates, so merged
+    // exports name every process identically regardless of worker count.
+    const std::size_t slot =
+        task.obs_slot == SweepTask::kAutoSlot ? index : task.obs_slot;
+    char suffix[48];
+    if (task.kind == SweepTask::Kind::kSla) {
+      std::snprintf(suffix, sizeof suffix, " target=%g%%", task.target_percent);
+    } else {
+      std::snprintf(suffix, sizeof suffix, " cc=%d", task.concurrency);
+    }
+    std::string label = "#";
+    label += std::to_string(slot);
+    label += ' ';
+    label += task_algorithm_name(task);
+    label += ' ';
+    label += task.testbed.env.name;
+    label += suffix;
+    config.obs = task.obs->slot(slot, std::move(label));
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   if (task.kind == SweepTask::Kind::kRun) {
     out.run = run_algorithm(task.algorithm, testbed, task.dataset, task.concurrency,
-                            task.config, std::move(faults), task.checkpoints);
+                            config, std::move(faults), task.checkpoints);
   } else {
     out.sla = run_slaee(testbed, task.dataset, task.target_percent, task.max_throughput,
-                        task.concurrency, task.config, std::move(faults),
+                        task.concurrency, config, std::move(faults),
                         task.checkpoints);
   }
   out.wall_ms = std::chrono::duration<double, std::milli>(
@@ -188,27 +213,6 @@ std::string bench_commit_stamp() {
 
 namespace {
 
-void json_string(std::ostream& os, std::string_view s) {
-  os << '"';
-  for (const char ch : s) {
-    switch (ch) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
-          os << buf;
-        } else {
-          os << ch;
-        }
-    }
-  }
-  os << '"';
-}
-
 /// Round-trip-exact decimal (17 significant digits): equal doubles always
 /// print identically, so the JSON payload inherits the engine's determinism.
 std::string jnum(double v) {
@@ -223,7 +227,7 @@ void json_task(std::ostream& os, const SweepTaskResult& t) {
      << (t.kind == SweepTask::Kind::kRun ? "run" : "sla") << "\",\"algorithm\":\""
      << (t.kind == SweepTask::Kind::kRun ? to_string(t.run.algorithm) : "SLAEE")
      << "\",\"testbed\":";
-  json_string(os, t.testbed);
+  write_json_string(os, t.testbed);
   os << ",\"concurrency\":"
      << (t.kind == SweepTask::Kind::kRun ? t.run.concurrency : t.sla.final_concurrency)
      << ",\"derived_seed\":" << t.derived_seed;
@@ -256,9 +260,9 @@ void json_task(std::ostream& os, const SweepTaskResult& t) {
 
 void write_bench_json(std::ostream& os, const BenchRecord& record) {
   os << "{\n  \"schema\": \"eadt-bench-v1\",\n  \"name\": ";
-  json_string(os, record.name);
+  write_json_string(os, record.name);
   os << ",\n  \"commit\": ";
-  json_string(os, record.commit);
+  write_json_string(os, record.commit);
   os << ",\n  \"jobs\": " << record.jobs << ",\n  \"scale\": " << record.scale
      << ",\n  \"total_wall_ms\": " << jnum(record.total_wall_ms)
      << ",\n  \"tasks\": [\n";
@@ -272,7 +276,7 @@ void write_bench_json(std::ostream& os, const BenchRecord& record) {
     for (std::size_t i = 0; i < record.micro.size(); ++i) {
       const MicroSample& m = record.micro[i];
       os << "    {\"name\":";
-      json_string(os, m.name);
+      write_json_string(os, m.name);
       os << ",\"ops\":" << m.ops << ",\"wall_ms\":" << jnum(m.wall_ms)
          << ",\"ops_per_sec\":" << jnum(m.ops_per_sec)
          << ",\"baseline_ops_per_sec\":" << jnum(m.baseline_ops_per_sec)
@@ -280,6 +284,10 @@ void write_bench_json(std::ostream& os, const BenchRecord& record) {
       os << (i + 1 < record.micro.size() ? ",\n" : "\n");
     }
     os << "  ]";
+  }
+  if (!record.metrics.empty()) {
+    os << ",\n  \"metrics\": ";
+    obs::write_metrics_object(os, record.metrics, 2);
   }
   os << "\n}\n";
 }

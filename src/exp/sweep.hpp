@@ -25,6 +25,11 @@
 #include <vector>
 
 #include "exp/runner.hpp"
+#include "obs/metrics.hpp"
+
+namespace eadt::obs {
+class ObsCollector;
+}  // namespace eadt::obs
 
 namespace eadt::exp {
 
@@ -68,6 +73,18 @@ struct SweepTask {
   /// Optional per-task checkpoint journal receiver. Called from the worker
   /// executing this task; a sink shared across tasks must be thread-safe.
   CheckpointSink checkpoints{};
+
+  /// Slot sentinel: "use this task's submission index as the obs slot".
+  static constexpr std::size_t kAutoSlot = static_cast<std::size_t>(-1);
+
+  /// Optional observability collector. When non-null, the worker acquires
+  /// slot `obs_slot` (kAutoSlot = the task's submission index) and wires the
+  /// slot's sinks into the session config, so traces/decisions land in a
+  /// per-task buffer and metrics in the shared registry. Benches that call
+  /// SweepRunner::run() more than once must assign explicit non-overlapping
+  /// slots — indices restart at 0 on every run() call.
+  obs::ObsCollector* obs = nullptr;
+  std::size_t obs_slot = kAutoSlot;
 };
 
 /// The outcome of one task, back at its submission index.
@@ -145,6 +162,10 @@ struct BenchRecord {
   double total_wall_ms = 0.0;
   std::vector<SweepTaskResult> tasks;
   std::vector<MicroSample> micro;  ///< core_micro's series (empty for sweeps)
+  /// Merged MetricsRegistry snapshot when the bench ran with observability
+  /// attached. Like `micro`, the section is emitted only when non-empty, so
+  /// records (and their goldens) from unobserved runs are unchanged.
+  std::vector<obs::MetricSnapshot> metrics;
 };
 
 /// The commit stamp recorded in BenchRecords: $EADT_COMMIT if set, else the

@@ -12,7 +12,18 @@ void TickRecorder::on_tick(const proto::TickTrace& trace) {
   }
 }
 
+Seconds TickRecorder::measured_tick() const noexcept {
+  if (traces_.size() < 2) return 0.0;
+  return (traces_[1].time - traces_[0].time) / stride_;
+}
+
 void TickRecorder::write_csv(std::ostream& os) const {
+  os << "# tick stride: " << stride_ << " (one row per " << stride_
+     << " engine tick" << (stride_ == 1 ? "" : "s") << ")\n";
+  if (const Seconds tick = measured_tick(); tick > 0.0) {
+    os << "# tick length: " << Table::num(tick, 3) << " s (measured); sampling period: "
+       << Table::num(tick * stride_, 3) << " s\n";
+  }
   Table t({"time_s", "goodput_mbps", "power_w", "open_channels", "busy_channels",
            "down_channels", "path_factor"});
   for (const auto& trace : traces_) {

@@ -12,8 +12,10 @@ namespace eadt::exp {
 
 class TickRecorder final : public proto::SessionObserver {
  public:
-  /// Record every `stride`-th tick (1 = all; 10 with the default 100 ms tick
-  /// records once per second).
+  /// Record the first tick and every `stride`-th after it (1 = all). With
+  /// SessionConfig's default 100 ms tick, stride 10 records once per second —
+  /// write_csv() prints the stride and the tick length it actually measured,
+  /// so an exported CSV documents its own sampling period.
   explicit TickRecorder(int stride = 1) : stride_(stride < 1 ? 1 : stride) {}
 
   void on_tick(const proto::TickTrace& trace) override;
@@ -23,6 +25,13 @@ class TickRecorder final : public proto::SessionObserver {
   }
   [[nodiscard]] std::size_t ticks_seen() const noexcept { return seen_; }
 
+  [[nodiscard]] int stride() const noexcept { return stride_; }
+
+  /// Engine tick length inferred from the first two recorded rows (their
+  /// spacing is stride ticks). 0 when fewer than two rows were recorded.
+  [[nodiscard]] Seconds measured_tick() const noexcept;
+
+  /// `#`-comment header lines (stride, tick length, sampling period), then
   /// time_s,goodput_mbps,power_w,open_channels,busy_channels,down_channels,path_factor
   void write_csv(std::ostream& os) const;
 

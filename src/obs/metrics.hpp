@@ -1,0 +1,135 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// Design constraints (MODEL.md §12):
+//   * zero-cost when unattached — nothing in this header is touched unless a
+//     sink pointer is installed, and the engine's hot paths only ever hold
+//     pre-resolved Counter*/Histogram* handles;
+//   * allocation-free on the hot path — handles are resolved once (registry
+//     lookup takes a lock and may allocate), after which add()/set_max()/
+//     observe() are lock-free atomic operations;
+//   * deterministic under SweepRunner --jobs N — every shared mutation
+//     commutes: counter adds and histogram bucket increments are integer
+//     additions, gauges are monotonic set_max, and histogram sums accumulate
+//     in 1/256-unit fixed point so double rounding cannot depend on the
+//     interleaving of worker threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eadt::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value / high-water-mark metric. Concurrent writers should only use
+/// set_max() (max commutes, so parallel sweeps stay deterministic); set() is
+/// for single-writer contexts.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void set_max(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. `bounds` are ascending inclusive upper edges; one
+/// implicit overflow bucket catches everything above the last edge. The sum
+/// is kept in 1/256-unit fixed point (see file comment); values up to ~10^15
+/// accumulate without overflow, far beyond any metric in this codebase.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// Total of observed values, quantized to 1/256.
+  [[nodiscard]] double sum() const noexcept {
+    return static_cast<double>(sum_fixed_.load(std::memory_order_relaxed)) / kSumScale;
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return bounds_.size() + 1; }
+
+ private:
+  static constexpr double kSumScale = 256.0;
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  ///< bounds + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_fixed_{0};
+};
+
+/// Point-in-time copy of one metric, detached from the registry. `count` is
+/// the counter value / histogram observation count; `value` is the gauge
+/// value / histogram sum.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  std::uint64_t count = 0;
+  double value = 0.0;
+  std::vector<double> bounds;          ///< histogram only
+  std::vector<std::uint64_t> buckets;  ///< histogram only (bounds + overflow)
+};
+
+/// Get-or-create registry of named metrics. Lookups lock a mutex and may
+/// allocate; the returned references are stable for the registry's lifetime,
+/// so callers resolve handles once and mutate lock-free afterwards.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` are used only on first creation; later calls return the
+  /// existing histogram regardless.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  [[nodiscard]] bool empty() const;
+
+  /// All metrics, each family sorted by name.
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  /// Standalone export: `{"schema": "eadt-metrics-v1", "counters": ..}`.
+  void write_json(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Write the metrics object body shared by write_json and the BENCH record
+/// merge: `{"counters": {..}, "gauges": {..}, "histograms": {..}}`, indented
+/// by `indent` spaces per level starting at `base_indent`. With a non-empty
+/// `schema` a `"schema"` member is emitted first.
+void write_metrics_object(std::ostream& os, const std::vector<MetricSnapshot>& metrics,
+                          int base_indent, std::string_view schema = {});
+
+}  // namespace eadt::obs

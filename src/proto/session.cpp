@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "net/fair_share.hpp"
+#include "obs/obs.hpp"
 #include "power/device.hpp"
 #include "util/rng.hpp"
 
@@ -18,6 +19,37 @@ bool size_desc(const std::pair<Bytes, std::uint32_t>& a,
 }
 
 }  // namespace
+
+/// Per-run observability state: metric handles resolved once at run start
+/// (so the tick-path publishes lock-free and allocation-free), plus the
+/// trace bookkeeping for span lifetimes. Exists only while sinks are
+/// attached — a plain session never constructs one.
+struct TransferSession::ObsState {
+  // Metric handles; null when no metrics sink is attached.
+  obs::Counter* ticks = nullptr;
+  obs::Counter* wire_bytes = nullptr;
+  obs::Counter* goodput_bytes = nullptr;
+  obs::Counter* retries = nullptr;
+  obs::Counter* checkpoint_writes = nullptr;
+  obs::Counter* brownouts = nullptr;
+  obs::Histogram* tick_goodput = nullptr;
+  obs::Histogram* tick_power = nullptr;
+  std::vector<obs::Counter*> chunk_bytes;  // per chunk, named by size class
+  // Ledger baselines: a resumed leg restores cumulative totals, so run-level
+  // metrics publish this leg's delta, not the whole transfer again.
+  Bytes wire_at_start = 0;
+  Bytes wasted_at_start = 0;
+  std::int64_t retries_at_start = 0;
+  // Trace bookkeeping.
+  std::vector<const char*> lease_names;  // per chunk, interned once
+  std::vector<char> chunk_open;          // chunk span currently open
+  std::vector<char> chunk_busy;          // per-tick scratch
+  std::vector<char> lane_used;           // channel-lease track allocator
+  std::vector<double> chunk_energy;      // per-chunk energy share, this leg
+  bool transfer_span_open = false;
+};
+
+TransferSession::~TransferSession() = default;
 
 TransferSession::TransferSession(const Environment& env, const Dataset& dataset,
                                  TransferPlan plan, SessionConfig config)
@@ -366,10 +398,12 @@ void TransferSession::open_channel(int chunk) {
     ch.down_since = sim_.now();
   }
   channels_.push_back(ch);
+  obs_lease_begin(channels_.back());
 }
 
 void TransferSession::close_channel(std::size_t idx) {
   Channel& ch = channels_[idx];
+  obs_lease_end(ch, abs_now());
   if (ch.busy && ch.work.remaining > 0) {
     // chunk_remaining_ still includes these bytes (it is decremented only as
     // bytes move), so requeueing the remainder keeps accounting consistent.
@@ -435,6 +469,12 @@ void TransferSession::fault_drop_channel(int index) {
     // the very last quarantined channel.
     ++quarantined_;
     ++fault_stats_.quarantined_channels;
+    if (obs_ != nullptr && config_.obs->trace != nullptr && ch.obs_lane >= 0) {
+      config_.obs->trace->instant(abs_now(), obs::kLaneTidBase + ch.obs_lane,
+                                  "channel-quarantined", "fault",
+                                  {"failures", static_cast<double>(ch.failures)});
+    }
+    obs_lease_end(ch, abs_now());
     channels_.erase(channels_.begin() + static_cast<std::ptrdiff_t>(victim));
     return;
   }
@@ -442,12 +482,25 @@ void TransferSession::fault_drop_channel(int index) {
   ch.cold = true;
   ch.down_since = sim_.now();
   ch.down_until = sim_.now() + backoff_delay(ch.failures);
+  if (obs_ != nullptr && config_.obs->trace != nullptr && ch.obs_lane >= 0) {
+    config_.obs->trace->instant(abs_now(), obs::kLaneTidBase + ch.obs_lane,
+                                "channel-drop", "fault",
+                                {"failures", static_cast<double>(ch.failures)},
+                                {"backoff_s", ch.down_until - ch.down_since});
+  }
 }
 
 void TransferSession::fault_server_state(bool source_side, std::size_t server, bool up) {
   auto& ups = source_side ? src_srv_up_ : dst_srv_up_;
   auto& since = source_side ? src_srv_down_since_ : dst_srv_down_since_;
   if (server >= ups.size()) return;
+  if (obs_ != nullptr && config_.obs->trace != nullptr && server < ups.size() &&
+      (ups[server] != 0) != up) {
+    config_.obs->trace->instant(abs_now(), obs::kControlTid,
+                                up ? "server-recovered" : "server-outage", "fault",
+                                {"server", static_cast<double>(server)},
+                                {"source_side", source_side ? 1.0 : 0.0});
+  }
   if (!up) {
     if (ups[server] == 0) return;
     ups[server] = 0;
@@ -495,6 +548,14 @@ void TransferSession::fault_server_state(bool source_side, std::size_t server, b
 
 void TransferSession::fault_path_factor(double factor) {
   path_factor_ = std::max(0.0, factor);
+  if (obs_ == nullptr) return;
+  const bool degraded = path_factor_ < 1.0;
+  if (degraded && obs_->brownouts != nullptr) obs_->brownouts->add(1);
+  if (auto* tb = config_.obs->trace) {
+    tb->instant(abs_now(), obs::kControlTid, degraded ? "brownout" : "brownout-clear",
+                "fault", {"path_capacity_factor", path_factor_});
+    tb->counter(abs_now(), "path_capacity_factor", path_factor_);
+  }
 }
 
 void TransferSession::revive_channels() {
@@ -503,6 +564,189 @@ void TransferSession::revive_channels() {
       ch.down = false;
       fault_stats_.channel_downtime += sim_.now() - ch.down_since;
     }
+  }
+}
+
+void TransferSession::obs_begin_run() {
+  obs::ObsSinks* sinks = config_.obs;
+  if (sinks == nullptr || !sinks->any()) return;
+  obs_ = std::make_unique<ObsState>();
+  ObsState& st = *obs_;
+  const std::size_t n_chunks = plan_.chunks.size();
+  st.chunk_energy.assign(n_chunks, 0.0);
+  if (sinks->metrics != nullptr) {
+    auto& m = *sinks->metrics;
+    m.counter("session.runs").add(1);
+    st.ticks = &m.counter("session.ticks");
+    st.wire_bytes = &m.counter("session.wire_bytes");
+    st.goodput_bytes = &m.counter("session.goodput_bytes");
+    st.retries = &m.counter("session.retries");
+    st.checkpoint_writes = &m.counter("session.checkpoint_writes");
+    st.brownouts = &m.counter("session.path_brownouts");
+    st.tick_goodput = &m.histogram(
+        "session.tick_goodput_mbps",
+        {1.0, 10.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0});
+    st.tick_power = &m.histogram("session.tick_power_w",
+                                 {50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0});
+    st.chunk_bytes.reserve(n_chunks);
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      st.chunk_bytes.push_back(&m.counter(std::string("session.chunk_bytes.") +
+                                          to_string(plan_.chunks[c].cls)));
+    }
+    st.wire_at_start = bytes_moved_;
+    st.wasted_at_start = fault_stats_.wasted_bytes;
+    st.retries_at_start = fault_stats_.retries;
+  }
+  if (sinks->trace != nullptr) {
+    auto* tb = sinks->trace;
+    tb->set_thread_name(obs::kControlTid, "algorithm / control");
+    st.chunk_open.assign(n_chunks, 0);
+    st.chunk_busy.assign(n_chunks, 0);
+    st.lease_names.reserve(n_chunks);
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+      const char* cls = to_string(plan_.chunks[c].cls);
+      tb->set_thread_name(
+          obs::kChunkTidBase + static_cast<int>(c),
+          tb->intern("chunk " + std::to_string(c) + " (" + cls + ")"));
+      st.lease_names.push_back(tb->intern(std::string("lease ") + cls));
+    }
+    tb->begin(abs_now(), obs::kControlTid, "transfer", "session",
+              {"bytes", static_cast<double>(total_bytes_)},
+              {"concurrency", static_cast<double>(target_concurrency_)});
+    st.transfer_span_open = true;
+  }
+}
+
+void TransferSession::obs_lease_begin(Channel& ch) {
+  if (obs_ == nullptr || config_.obs->trace == nullptr || ch.chunk < 0) return;
+  auto* tb = config_.obs->trace;
+  ObsState& st = *obs_;
+  // Lowest free lane: concurrent leases never share a track, and a closed
+  // lane is recycled by the next open, keeping the track count bounded by
+  // the peak concurrency rather than the channel-open count.
+  std::size_t lane = 0;
+  while (lane < st.lane_used.size() && st.lane_used[lane] != 0) ++lane;
+  if (lane == st.lane_used.size()) {
+    st.lane_used.push_back(1);
+    tb->set_thread_name(obs::kLaneTidBase + static_cast<int>(lane),
+                        tb->intern("channel lane " + std::to_string(lane)));
+  } else {
+    st.lane_used[lane] = 1;
+  }
+  ch.obs_lane = static_cast<int>(lane);
+  tb->begin(abs_now(), obs::kLaneTidBase + ch.obs_lane,
+            st.lease_names[static_cast<std::size_t>(ch.chunk)], "channel",
+            {"chunk", static_cast<double>(ch.chunk)},
+            {"parallelism", static_cast<double>(ch.parallelism)});
+}
+
+void TransferSession::obs_lease_end(Channel& ch, Seconds at) {
+  if (obs_ == nullptr || config_.obs->trace == nullptr || ch.obs_lane < 0) return;
+  config_.obs->trace->end(at, obs::kLaneTidBase + ch.obs_lane);
+  obs_->lane_used[static_cast<std::size_t>(ch.obs_lane)] = 0;
+  ch.obs_lane = -1;
+}
+
+void TransferSession::obs_tick(Joules tick_energy, Seconds dt) {
+  ObsState& st = *obs_;
+  Bytes moved = 0;
+  std::fill(st.chunk_busy.begin(), st.chunk_busy.end(), 0);
+  for (const auto& ch : channels_) {
+    moved += ch.moved_this_tick;
+    if (ch.chunk < 0) continue;
+    const auto c = static_cast<std::size_t>(ch.chunk);
+    if (ch.moved_this_tick > 0 && st.ticks != nullptr) {
+      st.chunk_bytes[c]->add(ch.moved_this_tick);
+    }
+    if (c < st.chunk_busy.size() && ch.busy && !ch.down) st.chunk_busy[c] = 1;
+  }
+  if (moved > 0 && tick_energy > 0.0) {
+    // Attribute this tick's end-system energy to chunks by byte share — the
+    // per-chunk energy split the paper's per-class analysis needs.
+    for (const auto& ch : channels_) {
+      if (ch.chunk >= 0 && ch.moved_this_tick > 0) {
+        st.chunk_energy[static_cast<std::size_t>(ch.chunk)] +=
+            tick_energy * static_cast<double>(ch.moved_this_tick) /
+            static_cast<double>(moved);
+      }
+    }
+  }
+  if (st.ticks != nullptr) {
+    st.ticks->add(1);
+    st.tick_goodput->observe(to_mbps(to_bits(moved) / dt));
+    st.tick_power->observe(tick_energy / dt);
+  }
+  if (auto* tb = config_.obs->trace) {
+    const Seconds t = abs_now();
+    for (std::size_t c = 0; c < st.chunk_open.size(); ++c) {
+      const int tid = obs::kChunkTidBase + static_cast<int>(c);
+      if (st.chunk_open[c] == 0 && st.chunk_busy[c] != 0) {
+        // The span opens at the start of the slice that first moved bytes.
+        tb->begin(t - dt, tid, "chunk-active", "chunk",
+                  {"remaining_bytes", static_cast<double>(chunk_remaining_[c])});
+        st.chunk_open[c] = 1;
+      } else if (st.chunk_open[c] != 0 && !chunk_live(static_cast<int>(c))) {
+        tb->end(t, tid);
+        st.chunk_open[c] = 0;
+      }
+    }
+  }
+}
+
+void TransferSession::obs_sample(const SampleStats& s) {
+  if (obs_ == nullptr || config_.obs->trace == nullptr) return;
+  auto* tb = config_.obs->trace;
+  const Seconds d = s.duration();
+  tb->counter(s.window_end, "goodput_mbps", d > 0.0 ? to_mbps(s.throughput()) : 0.0);
+  tb->counter(s.window_end, "power_w", d > 0.0 ? s.end_system_energy / d : 0.0);
+  tb->counter(s.window_end, "active_channels", static_cast<double>(s.active_channels));
+  tb->counter(s.window_end, "down_channels", static_cast<double>(s.down_channels));
+}
+
+void TransferSession::obs_checkpoint_write() {
+  if (obs_ == nullptr) return;
+  if (obs_->checkpoint_writes != nullptr) obs_->checkpoint_writes->add(1);
+  if (auto* tb = config_.obs->trace) {
+    tb->instant(abs_now(), obs::kControlTid, "checkpoint", "session",
+                {"bytes_moved", static_cast<double>(bytes_moved_)});
+  }
+}
+
+void TransferSession::obs_end_run(Seconds local_end, const RunResult& res) {
+  if (obs_ == nullptr) return;
+  ObsState& st = *obs_;
+  const Seconds t = time_offset_ + local_end;
+  if (auto* tb = config_.obs->trace) {
+    for (auto& ch : channels_) obs_lease_end(ch, t);
+    for (std::size_t c = 0; c < st.chunk_open.size(); ++c) {
+      if (st.chunk_open[c] != 0) tb->end(t, obs::kChunkTidBase + static_cast<int>(c));
+    }
+    if (st.transfer_span_open) {
+      tb->end(t, obs::kControlTid);
+      st.transfer_span_open = false;
+    }
+    tb->instant(t, obs::kControlTid, res.completed ? "run-complete" : "run-aborted",
+                "session", {"bytes", static_cast<double>(res.bytes)},
+                {"energy_j", res.end_system_energy});
+  }
+  if (st.ticks != nullptr) {
+    auto& m = *config_.obs->metrics;
+    const Bytes wire_delta = bytes_moved_ - st.wire_at_start;
+    const Bytes wasted_delta = fault_stats_.wasted_bytes - st.wasted_at_start;
+    st.wire_bytes->add(wire_delta);
+    st.goodput_bytes->add(wire_delta >= wasted_delta ? wire_delta - wasted_delta : 0);
+    st.retries->add(static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, fault_stats_.retries - st.retries_at_start)));
+    m.histogram("session.run_duration_s", {10.0, 60.0, 300.0, 1800.0, 7200.0, 43200.0})
+        .observe(local_end);
+    m.histogram("session.run_energy_j", {1e2, 1e3, 1e4, 1e5, 1e6, 1e7})
+        .observe(res.end_system_energy);
+    for (std::size_t c = 0; c < st.chunk_energy.size(); ++c) {
+      m.histogram(std::string("session.chunk_energy_j.") + to_string(plan_.chunks[c].cls),
+                  {1e2, 1e3, 1e4, 1e5, 1e6, 1e7})
+          .observe(st.chunk_energy[c]);
+    }
+    sim_.counters().publish(m);
   }
 }
 
@@ -551,7 +795,9 @@ void TransferSession::rebalance() {
         ch.work = {};
         ch.overhead_left = 0.0;
       }
+      obs_lease_end(ch, abs_now());  // the lease moves chunks: close + reopen
       assign_channel(ch, static_cast<int>(c));
+      obs_lease_begin(ch);
       --deficit;
     }
     while (deficit > 0) {
@@ -861,11 +1107,17 @@ bool TransferSession::tick() {
       sim_.now() - last_checkpoint_ >= config_.checkpoint_interval - 1e-9) {
     last_checkpoint_ = sim_.now();
     checkpoint_sink_(make_checkpoint());
+    obs_checkpoint_write();
   }
+
+  if (obs_ != nullptr) obs_tick(tick_energy, dt);
 
   if (observer_ != nullptr) {
     TickTrace trace;
-    trace.time = sim_.now();
+    // Absolute transfer time: an observer re-attached on a resumed leg sees
+    // the clock continue where the interrupted run stopped, matching the
+    // sample windows (regression-tested in test_obs.cpp).
+    trace.time = time_offset_ + sim_.now();
     trace.end_system_power = tick_energy / dt;
     trace.open_channels = static_cast<int>(channels_.size());
     trace.path_capacity_factor = path_factor_;
@@ -902,6 +1154,7 @@ bool TransferSession::tick() {
     s.active_channels = active;
     s.down_channels = down;
     samples_.push_back(s);
+    obs_sample(s);
     window_start_ = t_end;
     window_bytes_ = 0;
     window_wasted_ = 0;
@@ -925,6 +1178,7 @@ RunResult TransferSession::run(Controller* controller) {
     }
     controller_->on_start(*this);
   }
+  obs_begin_run();  // before rebalance(), so the first leases are traced
   rebalance();
 
   if (faults_.active()) {
@@ -987,7 +1241,10 @@ RunResult TransferSession::run(Controller* controller) {
   if (!completed) {
     // The abort checkpoint: the journal entry a supervisor resumes from.
     res.checkpoint = make_checkpoint();
-    if (checkpoint_sink_) checkpoint_sink_(*res.checkpoint);
+    if (checkpoint_sink_) {
+      checkpoint_sink_(*res.checkpoint);
+      obs_checkpoint_write();
+    }
   }
   res.sim_counters = sim_.counters();
   res.samples = std::move(samples_);
@@ -995,6 +1252,7 @@ RunResult TransferSession::run(Controller* controller) {
   res.destination_servers = dst_energy_;
   for (const auto& s : src_energy_) res.end_system_energy += s.joules;
   for (const auto& s : dst_energy_) res.end_system_energy += s.joules;
+  obs_end_run(local_end, res);
   return res;
 }
 

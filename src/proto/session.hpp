@@ -36,6 +36,10 @@
 #include "sim/simulation.hpp"
 #include "util/rng.hpp"
 
+namespace eadt::obs {
+struct ObsSinks;
+}  // namespace eadt::obs
+
 namespace eadt::proto {
 
 struct ServerEnergy {
@@ -94,12 +98,20 @@ struct SessionConfig {
   /// Emit a TransferCheckpoint to the registered sink every this many
   /// simulated seconds (0 = only the final abort checkpoint).
   Seconds checkpoint_interval = 0.0;
+  /// Observability sinks (metrics / spans / decisions — MODEL.md §12). Null
+  /// (the default) keeps the engine byte-identical and allocation-free: the
+  /// only cost is one pointer compare at each guarded site. The sinks must
+  /// outlive run(). Borrowed, so the config stays copyable — SweepRunner and
+  /// Supervisor copy configs freely and every copy publishes into the same
+  /// sinks.
+  obs::ObsSinks* obs = nullptr;
 };
 
 class TransferSession : private FaultHost {
  public:
   TransferSession(const Environment& env, const Dataset& dataset, TransferPlan plan,
                   SessionConfig config = {});
+  ~TransferSession();  // out of line: ObsState is incomplete here
 
   /// Install a failure workload; call before run(). A default-constructed
   /// (inactive) plan — also the default — leaves the engine byte-identical
@@ -146,6 +158,10 @@ class TransferSession : private FaultHost {
   [[nodiscard]] int total_concurrency_target() const noexcept { return target_concurrency_; }
   [[nodiscard]] Seconds now() const noexcept;
   [[nodiscard]] Bytes bytes_remaining() const noexcept;
+  /// The observability sinks this session publishes into (null when off).
+  /// Controllers use this to emit probe spans / decisions into the same
+  /// buffers as the session's own telemetry.
+  [[nodiscard]] obs::ObsSinks* observation() const noexcept { return config_.obs; }
 
  private:
   struct QueueEntry {
@@ -171,6 +187,8 @@ class TransferSession : private FaultHost {
     Seconds down_since = 0.0;
     Seconds down_until = 0.0;
     int failures = 0;  ///< consecutive faults on this slot (reset on completion)
+    /// Trace track this channel's lease span is open on (-1 = none).
+    int obs_lane = -1;
   };
 
   /// Per-tick workspace for allocate_rates(). Same lifetime as the session,
@@ -231,6 +249,20 @@ class TransferSession : private FaultHost {
   void charge_waste(Bytes lost);
   void revive_channels();
 
+  // --- observability ------------------------------------------------------
+  // Every obs_* call is a no-op unless run() found sinks in config_.obs and
+  // built an ObsState; the steady-state tick cost without sinks is a single
+  // null compare (pinned, like the rate pipeline, by the alloc-guard test).
+  /// Absolute transfer time: resumed legs continue the prior legs' clock.
+  [[nodiscard]] Seconds abs_now() const noexcept { return time_offset_ + sim_.now(); }
+  void obs_begin_run();
+  void obs_tick(Joules tick_energy, Seconds dt);
+  void obs_sample(const SampleStats& s);
+  void obs_checkpoint_write();
+  void obs_lease_begin(Channel& ch);
+  void obs_lease_end(Channel& ch, Seconds at);
+  void obs_end_run(Seconds local_end, const RunResult& res);
+
   const Environment& env_;
   TransferPlan plan_;
   SessionConfig config_;
@@ -243,6 +275,8 @@ class TransferSession : private FaultHost {
 
   sim::Simulation sim_;
   RateScratch scratch_;
+  struct ObsState;
+  std::unique_ptr<ObsState> obs_;  ///< built by run() iff sinks are attached
   Rng jitter_rng_{1};  // reseeded from env.jitter_seed in the constructor
   Controller* controller_ = nullptr;
   SessionObserver* observer_ = nullptr;

@@ -4,7 +4,17 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace eadt::sim {
+
+void SimCounters::publish(obs::MetricsRegistry& metrics) const {
+  metrics.counter("sim.events_scheduled").add(scheduled);
+  metrics.counter("sim.events_fired").add(fired);
+  metrics.counter("sim.events_cancelled").add(cancelled);
+  metrics.counter("sim.ticker_ticks").add(ticks);
+  metrics.gauge("sim.peak_queue").set_max(static_cast<double>(peak_queue));
+}
 
 Simulation::Simulation() {
   // A session's steady queue is tiny (the ticker plus a handful of control

@@ -29,6 +29,10 @@
 
 #include "util/units.hpp"
 
+namespace eadt::obs {
+class MetricsRegistry;
+}  // namespace eadt::obs
+
 namespace eadt::sim {
 
 /// Handle for a scheduled event; valid until the event fires or is cancelled.
@@ -52,6 +56,10 @@ struct SimCounters {
   std::uint64_t cancelled = 0;   ///< events removed before firing
   std::uint64_t ticks = 0;       ///< ticker occurrences fired
   std::uint64_t peak_queue = 0;  ///< high-water mark of pending_events()
+
+  /// Add these counts into a metrics registry under the `sim.*` names
+  /// (MODEL.md §12). peak_queue merges as a max gauge, the rest as counters.
+  void publish(obs::MetricsRegistry& metrics) const;
 };
 
 class Simulation {

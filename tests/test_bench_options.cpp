@@ -69,6 +69,28 @@ TEST(BenchOptions, JsonControls) {
   EXPECT_TRUE(parse({}).json);
 }
 
+TEST(BenchOptions, ObservabilityFlags) {
+  EXPECT_FALSE(parse({}).observing());
+  const auto opt =
+      parse({"--trace-out", "t.json", "--metrics-out=m.json", "--decisions", "d.json"});
+  EXPECT_EQ(opt.trace_out, "t.json");
+  EXPECT_EQ(opt.metrics_out, "m.json");
+  EXPECT_EQ(opt.decisions_out, "d.json");
+  EXPECT_TRUE(opt.observing());
+  // Any one flag alone turns observation on.
+  EXPECT_TRUE(parse({"--trace-out=t.json"}).observing());
+  EXPECT_TRUE(parse({"--metrics-out", "m.json"}).observing());
+  EXPECT_TRUE(parse({"--decisions=d.json"}).observing());
+}
+
+TEST(BenchOptions, ObservabilityFlagsRequireValues) {
+  for (const char* flag : {"--trace-out", "--metrics-out", "--decisions"}) {
+    std::string error;
+    EXPECT_FALSE(try_parse({flag}, &error).has_value()) << flag;
+    EXPECT_NE(error.find("requires a value"), std::string::npos) << flag;
+  }
+}
+
 TEST(BenchOptions, HelpIsFlagged) {
   EXPECT_TRUE(parse({"--help"}).help);
   EXPECT_TRUE(parse({"-h"}).help);
