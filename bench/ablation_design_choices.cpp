@@ -13,14 +13,25 @@
 #include "bench_common.hpp"
 #include "core/algorithms.hpp"
 #include "baselines/baselines.hpp"
+#include "obs/obs.hpp"
 
 namespace {
 
 using namespace eadt;
 
+// --trace-out/--metrics-out/--decisions: every ablation run gets its own
+// collector slot (trace track), labelled by its table row.
+obs::ObsCollector* g_collector = nullptr;
+std::size_t g_next_slot = 0;
+
 proto::RunResult run_plan(const testbeds::Testbed& t, const proto::Dataset& ds,
-                          proto::TransferPlan plan, proto::Controller* ctl = nullptr) {
-  proto::TransferSession session(t.env, ds, std::move(plan));
+                          proto::TransferPlan plan, proto::Controller* ctl = nullptr,
+                          const std::string& label = {}) {
+  proto::SessionConfig config;
+  if (g_collector != nullptr) {
+    config.obs = g_collector->slot(g_next_slot++, label.empty() ? "ablation" : label);
+  }
+  proto::TransferSession session(t.env, ds, std::move(plan), config);
   return session.run(ctl);
 }
 
@@ -34,6 +45,8 @@ std::vector<std::string> row(const std::string& name, const proto::RunResult& r)
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
+  const auto collector = bench::make_collector(opt);
+  g_collector = collector.get();
   auto t = testbeds::xsede();
   t.recipe.total_bytes /= opt.scale;
   const auto ds = t.make_dataset();
@@ -44,18 +57,24 @@ int main(int argc, char** argv) {
   {
     std::cout << "1. MinE: Large chunk pinned to one channel vs unrestricted\n";
     Table tab({"variant", "Mbps", "Joule", "ratio"});
-    tab.add_row(row("MinE (pinned, paper)", run_plan(t, ds, core::plan_min_energy(t.env, ds, cc))));
+    tab.add_row(row("MinE (pinned, paper)", run_plan(t, ds, core::plan_min_energy(t.env, ds, cc), nullptr,
+                             "mine-pinned")));
     auto unpinned = core::plan_min_energy(t.env, ds, cc);
     unpinned.steal = proto::StealPolicy::kAll;  // freed channels may join Large
-    tab.add_row(row("MinE without the rule", run_plan(t, ds, unpinned)));
-    tab.add_row(row("ProMC (reference)", run_plan(t, ds, baselines::plan_promc(t.env, ds, cc))));
+    tab.add_row(row("MinE without the rule",
+                    run_plan(t, ds, unpinned, nullptr, "mine-unpinned")));
+    tab.add_row(row("ProMC (reference)",
+                    run_plan(t, ds, baselines::plan_promc(t.env, ds, cc), nullptr,
+                             "promc-reference")));
     bench::emit(tab, opt);
   }
 
   {
     std::cout << "2. Channel weights: log(size)*log(count) vs bytes-proportional\n";
     Table tab({"variant", "Mbps", "Joule", "ratio"});
-    tab.add_row(row("log weights (paper)", run_plan(t, ds, baselines::plan_promc(t.env, ds, cc))));
+    tab.add_row(row("log weights (paper)",
+                    run_plan(t, ds, baselines::plan_promc(t.env, ds, cc), nullptr,
+                             "weights-log")));
     auto bytes_plan = baselines::plan_promc(t.env, ds, cc);
     {
       // Re-allocate channels proportional to chunk bytes (floor + remainder).
@@ -73,7 +92,8 @@ int main(int argc, char** argv) {
         ++used;
       }
     }
-    tab.add_row(row("bytes-proportional", run_plan(t, ds, bytes_plan)));
+    tab.add_row(row("bytes-proportional",
+                    run_plan(t, ds, bytes_plan, nullptr, "weights-bytes")));
     bench::emit(tab, opt);
   }
 
@@ -82,7 +102,8 @@ int main(int argc, char** argv) {
     Table tab({"variant", "probes", "chosen cc", "Mbps", "Joule", "ratio"});
     for (const int stride : {2, 1}) {
       core::HteeController ctl(cc, stride);
-      const auto r = run_plan(t, ds, core::plan_htee(t.env, ds, cc), &ctl);
+      const auto r = run_plan(t, ds, core::plan_htee(t.env, ds, cc), &ctl,
+                              stride == 2 ? "htee-stride2" : "htee-full");
       tab.add_row({stride == 2 ? "stride 2 (paper)" : "full sweep",
                    std::to_string(ctl.probe_count()), std::to_string(ctl.chosen_level()),
                    Table::num(to_mbps(r.avg_throughput()), 0),
@@ -98,7 +119,9 @@ int main(int argc, char** argv) {
     for (const auto placement : {proto::Placement::kPacked, proto::Placement::kRoundRobin}) {
       auto plan = baselines::plan_single_chunk(t.env, ds, 2);
       plan.placement = placement;
-      const auto r = run_plan(t, ds, std::move(plan));
+      const auto r = run_plan(t, ds, std::move(plan), nullptr,
+                              placement == proto::Placement::kPacked
+                                  ? "placement-packed" : "placement-spread");
       int active = 0;
       for (const auto& s : r.source_servers) active += s.active_time > 0.0 ? 1 : 0;
       tab.add_row({placement == proto::Placement::kPacked ? "packed (custom client)"
@@ -113,12 +136,15 @@ int main(int argc, char** argv) {
     std::cout << "5. Pipelining: tuned depth vs disabled (Small chunk only)\n";
     Table tab({"variant", "Mbps", "Joule", "ratio"});
     tab.add_row(row("tuned pipelining (paper)",
-                    run_plan(t, ds, baselines::plan_promc(t.env, ds, cc))));
+                    run_plan(t, ds, baselines::plan_promc(t.env, ds, cc), nullptr,
+                             "pipelining-tuned")));
     auto no_pp = baselines::plan_promc(t.env, ds, cc);
     for (auto& p : no_pp.params) p.pipelining = 1;
-    tab.add_row(row("pipelining disabled", run_plan(t, ds, std::move(no_pp))));
+    tab.add_row(row("pipelining disabled",
+                    run_plan(t, ds, std::move(no_pp), nullptr, "pipelining-off")));
     bench::emit(tab, opt);
   }
 
+  if (collector) bench::write_obs_outputs(opt, *collector);
   return 0;
 }

@@ -171,15 +171,6 @@ void write_bench_record(const Options& opt, exp::BenchRecord record) {
             << record.jobs << ")\n";
 }
 
-namespace {
-
-testbeds::Testbed scaled(testbeds::Testbed t, unsigned divisor) {
-  t.recipe.total_bytes /= std::max(1u, divisor);
-  return t;
-}
-
-/// A collector only when some --*-out flag asks for one; a null collector
-/// keeps SweepTask.obs null, i.e. the zero-cost unobserved path.
 std::unique_ptr<obs::ObsCollector> make_collector(const Options& opt) {
   return opt.observing() ? std::make_unique<obs::ObsCollector>() : nullptr;
 }
@@ -200,6 +191,13 @@ void write_obs_outputs(const Options& opt, const obs::ObsCollector& collector) {
     collector.write_decisions_json(os);
     std::cout << "wrote " << opt.decisions_out << " (algorithm decision log)\n";
   }
+}
+
+namespace {
+
+testbeds::Testbed scaled(testbeds::Testbed t, unsigned divisor) {
+  t.recipe.total_bytes /= std::max(1u, divisor);
+  return t;
 }
 
 }  // namespace

@@ -10,12 +10,17 @@
 #pragma once
 
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "exp/runner.hpp"
 #include "exp/sweep.hpp"
 #include "util/table.hpp"
+
+namespace eadt::obs {
+class ObsCollector;
+}  // namespace eadt::obs
 
 namespace eadt::bench {
 
@@ -69,6 +74,16 @@ void emit(const Table& table, const Options& opt);
 /// record to opt.json_path (default BENCH_<bench_name>.json). No-op when
 /// --no-json was given.
 void write_bench_record(const Options& opt, exp::BenchRecord record);
+
+/// A collector iff some --trace-out/--metrics-out/--decisions flag asks for
+/// one; null keeps the run on the zero-cost unobserved path. Every bench that
+/// parses those flags must either attach the collector to its runs and call
+/// write_obs_outputs, or reject the flags — accepting them and silently
+/// writing nothing is a bug (regression-tested in tests/test_bench_obs.cpp).
+[[nodiscard]] std::unique_ptr<obs::ObsCollector> make_collector(const Options& opt);
+
+/// Write whichever of the three observability exports were requested.
+void write_obs_outputs(const Options& opt, const obs::ObsCollector& collector);
 
 /// Figures 2/3/4: throughput, energy and efficiency vs concurrency for the
 /// six algorithms, plus the brute-force reference sweep.

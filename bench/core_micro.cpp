@@ -23,6 +23,7 @@
 #include "baselines/baselines.hpp"
 #include "bench_common.hpp"
 #include "net/fair_share.hpp"
+#include "obs/obs.hpp"
 #include "proto/session.hpp"
 #include "sim/simulation.hpp"
 #include "testbeds/testbeds.hpp"
@@ -267,11 +268,14 @@ exp::MicroSample bench_fair_share(int calls) {
   return m;
 }
 
-exp::MicroSample bench_session_ticks(unsigned scale) {
+exp::MicroSample bench_session_ticks(unsigned scale, obs::ObsSinks* sinks) {
   auto t = testbeds::didclab();
   t.recipe.total_bytes = std::max<Bytes>(t.recipe.total_bytes / scale, 64ULL << 20);
   const auto ds = t.make_dataset();
-  proto::TransferSession session(t.env, ds, baselines::plan_promc(t.env, ds, 4));
+  proto::SessionConfig config;
+  config.obs = sinks;  // null on unobserved runs: the timed loop is untouched
+  proto::TransferSession session(t.env, ds, baselines::plan_promc(t.env, ds, 4),
+                                 config);
   const auto t0 = std::chrono::steady_clock::now();
   const auto res = session.run();
   const double ms = ms_since(t0);
@@ -303,6 +307,9 @@ int main(int argc, char** argv) {
   const int div = opt.scale > 1 ? 8 : 1;
 
   std::cout << "== core microbenchmarks ==\n";
+  // --trace-out/--metrics-out/--decisions observe the one real-engine series
+  // (session_ticks); the raw queue/fair-share loops have nothing to trace.
+  const auto collector = bench::make_collector(opt);
   exp::BenchRecord record;
   record.name = "core";  // BENCH_core.json, whatever the binary is called
   const auto t0 = std::chrono::steady_clock::now();
@@ -313,12 +320,17 @@ int main(int argc, char** argv) {
   print_sample(record.micro.back());
   record.micro.push_back(bench_fair_share(200000 / div));
   print_sample(record.micro.back());
-  record.micro.push_back(bench_session_ticks(opt.scale));
+  record.micro.push_back(bench_session_ticks(
+      opt.scale, collector ? collector->slot(0, "session_ticks") : nullptr));
   print_sample(record.micro.back());
 
   record.total_wall_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - t0)
                              .count();
+  if (collector) {
+    bench::write_obs_outputs(opt, *collector);
+    record.metrics = collector->metrics().snapshot();
+  }
   bench::write_bench_record(opt, std::move(record));
   return 0;
 }

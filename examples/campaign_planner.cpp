@@ -6,24 +6,34 @@
 //   * "deadline"  — highest throughput wins,
 //   * "green"     — lowest energy wins,
 //   * "balanced"  — best throughput/energy ratio wins.
+//
+// Takes the standard bench flags: --jobs/--scale, and the observability
+// trio (--trace-out/--metrics-out/--decisions) attaches a collector to the
+// sweep so every (route, algorithm) run lands in its own trace track.
 #include <iostream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "exp/sweep.hpp"
+#include "obs/obs.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eadt;
+  auto opt = bench::parse_options(argc, argv);
+  opt.json = false;  // a planner demo, not a perf-record producer
 
   const std::vector<exp::Algorithm> candidates = {
       exp::Algorithm::kSc, exp::Algorithm::kMinE,
       exp::Algorithm::kProMc, exp::Algorithm::kHtee,
   };
 
+  const auto collector = bench::make_collector(opt);
+
   // The full campaign grid, one task per (route, candidate).
   std::vector<exp::SweepTask> tasks;
   for (auto testbed : testbeds::all_testbeds()) {
-    testbed.recipe.total_bytes /= 16;  // demo-sized nightly batch
+    testbed.recipe.total_bytes /= 16 * opt.scale;  // demo-sized nightly batch
     const auto dataset = testbed.make_dataset();
     for (const auto algorithm : candidates) {
       exp::SweepTask task;
@@ -31,10 +41,11 @@ int main() {
       task.dataset = dataset;
       task.algorithm = algorithm;
       task.concurrency = 8;
+      task.obs = collector.get();  // slot = submission index
       tasks.push_back(std::move(task));
     }
   }
-  const exp::SweepRunner runner;  // jobs: EADT_JOBS, else all cores
+  const exp::SweepRunner runner(opt.jobs);
   const auto results = runner.run(tasks);
 
   for (std::size_t route = 0; route * candidates.size() < results.size(); ++route) {
@@ -62,5 +73,6 @@ int main() {
               << "\n  balanced policy -> " << exp::to_string(balanced->algorithm)
               << "\n\n";
   }
+  if (collector) bench::write_obs_outputs(opt, *collector);
   return 0;
 }

@@ -1,0 +1,567 @@
+#include "exp/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "baselines/baselines.hpp"
+#include "net/tcp_model.hpp"
+#include "obs/obs.hpp"
+#include "power/end_system.hpp"
+
+namespace eadt::exp {
+
+const char* to_string(SlaClass cls) noexcept {
+  switch (cls) {
+    case SlaClass::kInteractive: return "interactive";
+    case SlaClass::kStandard: return "standard";
+    case SlaClass::kScavenger: return "scavenger";
+  }
+  return "?";
+}
+
+SlaClass sla_class_of(JobPolicy policy) noexcept {
+  switch (policy) {
+    case JobPolicy::kDeadline:
+    case JobPolicy::kSla: return SlaClass::kInteractive;
+    case JobPolicy::kBalanced:
+    case JobPolicy::kEnergyBudget: return SlaClass::kStandard;
+    case JobPolicy::kGreen: return SlaClass::kScavenger;
+  }
+  return SlaClass::kStandard;
+}
+
+Watts session_peak_power_bound(const proto::Environment& env) {
+  // Eq. 1 with every utilization at its clamp (1.0) and Eq. 2 at its worst
+  // admissible core count: the polynomial is convex, so its maximum over
+  // 1..cores is at an endpoint. One session can at most activate every
+  // server of both endpoints, each drawing its activation base on top.
+  const auto side = [](const proto::Endpoint& ep) {
+    Watts w = 0.0;
+    for (const auto& s : ep.servers) {
+      const double coef = std::max(power::cpu_coefficient(1),
+                                   power::cpu_coefficient(std::max(1, s.cores)));
+      w += ep.power.active_base + ep.power.cpu_scale * coef + ep.power.mem +
+           ep.power.disk + ep.power.nic;
+    }
+    return w;
+  };
+  return side(env.source) + side(env.destination);
+}
+
+namespace {
+
+[[nodiscard]] int class_rank(SlaClass cls) noexcept {
+  switch (cls) {
+    case SlaClass::kInteractive: return 0;
+    case SlaClass::kStandard: return 1;
+    case SlaClass::kScavenger: return 2;
+  }
+  return 1;
+}
+
+}  // namespace
+
+/// One tenant's live state. `out` accumulates the reportable fate; the rest
+/// is the machinery of the current leg.
+struct Scheduler::Tenant {
+  std::size_t index = 0;
+  SchedulerJob spec;
+  LadderState ladder{JobPolicy::kBalanced, 1};
+  std::optional<proto::TransferCheckpoint> journal;
+  std::unique_ptr<proto::TransferSession> session;
+  std::unique_ptr<proto::Controller> controller;
+  obs::ObsSinks* sinks = nullptr;
+  Seconds attempt_started = 0.0;   ///< raw clock at the current leg's begin()
+  Seconds attempt_deadline = 0.0;  ///< watchdog for the current leg (0 = none)
+  int deadline_aborts = 0;  ///< watchdog aborts only; preemptions don't count
+  enum class State { kPending, kQueued, kDeferred, kRunning, kDone } state = State::kPending;
+  TenantOutcome out;
+};
+
+Scheduler::Scheduler(const testbeds::Testbed& testbed, BitsPerSecond reference_rate,
+                     SchedulerPolicy policy, proto::SessionConfig base_config)
+    : testbed_(testbed), reference_rate_(reference_rate), policy_(policy),
+      base_config_(base_config) {
+  policy_.max_concurrent = std::max(1, policy_.max_concurrent);
+  policy_.max_queue_depth = std::max(1, policy_.max_queue_depth);
+  if (reference_rate_ <= 0.0) {
+    // Same probe the TransferService runs: the site's ProMC best case.
+    const auto probe = testbed_.make_dataset();
+    proto::TransferSession session(
+        testbed_.env, probe,
+        baselines::plan_promc(testbed_.env, probe, testbed_.default_max_channels),
+        base_config_);
+    reference_rate_ = session.run().avg_throughput();
+  }
+}
+
+Scheduler::~Scheduler() = default;
+
+void Scheduler::record(Tenant& t, RecoveryAction action, Seconds at,
+                       std::string detail) {
+  t.out.recovery.events.push_back({at, std::max(1, t.out.attempts), action,
+                                   to_string(t.ladder.policy), t.ladder.channels,
+                                   detail});
+  obs::ObsSinks* s = t.sinks;
+  if (s == nullptr) return;
+  if (s->metrics != nullptr) s->metrics->counter(recovery_metric(action)).add(1);
+  if (s->decisions != nullptr) {
+    obs::Decision d;
+    d.at = at;
+    d.kind = recovery_decision_kind(action);
+    d.actor = "Scheduler";
+    d.level = t.ladder.channels;
+    d.chosen = t.ladder.channels;
+    d.subject = std::string(to_string(action)) + " " + t.out.name + " (" +
+                to_string(t.ladder.policy) + ")";
+    d.detail = std::move(detail);
+    s->decisions->record(std::move(d));
+  }
+}
+
+void Scheduler::decide(Tenant& t, obs::DecisionKind kind, std::string subject,
+                       std::string detail) {
+  obs::ObsSinks* s = t.sinks;
+  if (s == nullptr || s->decisions == nullptr) return;
+  obs::Decision d;
+  d.at = sim_.now();
+  d.kind = kind;
+  d.actor = "Scheduler";
+  d.level = t.ladder.channels;
+  d.chosen = static_cast<int>(running_.size());
+  d.subject = std::move(subject);
+  d.detail = std::move(detail);
+  s->decisions->record(std::move(d));
+}
+
+Seconds Scheduler::defer_delay(const Tenant& t) const {
+  if (!tariff_ || policy_.max_defer <= 0.0) return 0.0;
+  if (t.out.sla_class != SlaClass::kScavenger) return 0.0;
+  const Seconds abs = tariff_start_ + sim_.now();
+  const double now_price = tariff_->price_at(abs);
+  const Seconds target = tariff_->cheapest_hour() * 3600.0;
+  Seconds tod = std::fmod(abs, power::kSecondsPerDay);
+  Seconds delay = target - tod;
+  if (delay < 0.0) delay += power::kSecondsPerDay;
+  if (delay <= 0.0 || delay > policy_.max_defer) return 0.0;
+  if (tariff_->price_at(abs + delay) >= now_price) return 0.0;  // already cheap
+  return delay;
+}
+
+void Scheduler::on_submit(Tenant& t) {
+  ++report_.submitted;
+  // Bounded admission: the waiting room (queued + deferred) is finite and
+  // overflow is an explicit, accounted rejection — never a silent drop.
+  int waiting = static_cast<int>(queue_.size());
+  for (const auto& other : tenants_) {
+    waiting += other->state == Tenant::State::kDeferred ? 1 : 0;
+  }
+  const bool over_cap =
+      policy_.power_cap > 0.0 && session_peak_ > policy_.power_cap;
+  if (waiting >= policy_.max_queue_depth || over_cap) {
+    t.out.rejected = true;
+    t.out.finished_at = sim_.now();
+    ++report_.rejected;
+    record(t, RecoveryAction::kShed, sim_.now(),
+           over_cap ? "one session's peak draw cannot fit under the site power cap"
+                    : "waiting queue full (" + std::to_string(waiting) + "/" +
+                          std::to_string(policy_.max_queue_depth) + ")");
+    retire(t);
+    return;
+  }
+  ++report_.accepted;
+  decide(t, obs::DecisionKind::kSchedulerAdmit, "admit " + t.out.name,
+         std::string("class ") + to_string(t.out.sla_class) + ", queue depth " +
+             std::to_string(waiting));
+  if (const Seconds delay = defer_delay(t); delay > 0.0) {
+    t.state = Tenant::State::kDeferred;
+    ++t.out.deferrals;
+    ++report_.deferrals;
+    record(t, RecoveryAction::kDefer, sim_.now(),
+           "shifting the start " + std::to_string(delay) +
+               " s into the tariff's cheapest band");
+    Tenant* tp = &t;
+    sim_.schedule_after(delay, [this, tp] {
+      if (tp->state != Tenant::State::kDeferred) return;
+      enqueue(*tp);
+      try_dispatch();
+    });
+    return;
+  }
+  enqueue(t);
+  try_dispatch();
+}
+
+void Scheduler::enqueue(Tenant& t) {
+  t.state = Tenant::State::kQueued;
+  // Class-priority insertion, stable within a class: interactive jobs pass
+  // waiting batch work, scavengers go last.
+  const int rank = class_rank(t.out.sla_class);
+  auto it = queue_.begin();
+  while (it != queue_.end() && class_rank((*it)->out.sla_class) <= rank) ++it;
+  queue_.insert(it, &t);
+}
+
+bool Scheduler::can_dispatch(const Tenant&) const {
+  if (static_cast<int>(running_.size()) >= policy_.max_concurrent) return false;
+  if (policy_.power_cap > 0.0 &&
+      running_peak_sum_ + session_peak_ > policy_.power_cap + 1e-9) {
+    return false;
+  }
+  return true;
+}
+
+void Scheduler::try_dispatch() {
+  while (!queue_.empty()) {
+    Tenant& head = *queue_.front();
+    if (can_dispatch(head)) {
+      queue_.erase(queue_.begin());
+      dispatch(head);
+      continue;
+    }
+    // An interactive tenant blocked on capacity may evict background work:
+    // the most recently dispatched scavenger is checkpointed and re-queued.
+    if (head.out.sla_class == SlaClass::kInteractive) {
+      Tenant* victim = nullptr;
+      for (auto it = running_.rbegin(); it != running_.rend(); ++it) {
+        if ((*it)->out.sla_class == SlaClass::kScavenger) {
+          victim = *it;
+          break;
+        }
+      }
+      if (victim != nullptr) {
+        preempt(*victim);
+        continue;  // re-check the head against the freed capacity
+      }
+    }
+    break;
+  }
+}
+
+void Scheduler::dispatch(Tenant& t) {
+  const TransferJob& job = t.spec.job;
+  obs::DecisionLog* decisions = t.sinks != nullptr ? t.sinks->decisions : nullptr;
+  OperatingPoint op = make_operating_point(
+      testbed_.env, job.dataset, t.ladder.policy, t.ladder.channels,
+      job.sla_percent, job.energy_budget, reference_rate_, decisions);
+
+  proto::SessionConfig config = base_config_;
+  config.obs = t.sinks;
+  if (policy_.supervision.attempt_deadline > 0.0) {
+    config.max_sim_time = policy_.supervision.attempt_deadline;
+  }
+  t.session = std::make_unique<proto::TransferSession>(
+      sim_, testbed_.env, job.dataset, std::move(op.plan), config);
+  t.controller = std::move(op.controller);
+  t.session->set_fault_plan(faults_);
+  if (t.journal) {
+    std::string err;
+    if (!t.session->resume_from(*t.journal, &err)) {
+      fail(t, "resume failed: " + err);
+      return;
+    }
+  }
+  if (auto bad = t.session->begin(t.controller.get())) {
+    fail(t, std::move(*bad));
+    return;
+  }
+  t.attempt_started = sim_.now();
+  t.attempt_deadline = policy_.supervision.attempt_deadline;
+  ++t.out.attempts;
+  if (t.out.attempts == 1) t.out.started_at = sim_.now();
+  t.state = Tenant::State::kRunning;
+  running_.push_back(&t);
+  running_peak_sum_ += session_peak_;
+  report_.peak_power_bound = std::max(report_.peak_power_bound, running_peak_sum_);
+  report_.max_concurrent_observed =
+      std::max(report_.max_concurrent_observed, static_cast<int>(running_.size()));
+  if (t.journal) {
+    record(t, RecoveryAction::kResume, t.journal->taken_at,
+           "resuming from the checkpoint journal (" +
+               std::to_string(t.journal->completed.size()) + " files landed)");
+  }
+  decide(t, obs::DecisionKind::kSchedulerDispatch,
+         "dispatch " + t.out.name + " (attempt " + std::to_string(t.out.attempts) + ")",
+         std::to_string(running_.size()) + " running, peak bound " +
+             std::to_string(running_peak_sum_) + " W");
+}
+
+void Scheduler::preempt(Tenant& t) {
+  proto::RunResult res = t.session->finalize(false, sim_.now());
+  t.out.result = std::move(res);
+  t.journal = t.out.result.checkpoint;
+  t.session.reset();
+  t.controller.reset();
+  running_.erase(std::find(running_.begin(), running_.end(), &t));
+  running_peak_sum_ -= session_peak_;
+  ++t.out.preemptions;
+  ++report_.preemptions;
+  record(t, RecoveryAction::kPreempt, sim_.now(),
+         "checkpointed to free capacity for an interactive tenant (" +
+             std::to_string(t.out.result.goodput_bytes()) + " B landed)");
+  enqueue(t);  // scavenger rank puts it behind all foreground work
+}
+
+void Scheduler::abort_attempt(Tenant& t, Seconds end_raw) {
+  proto::RunResult res = t.session->finalize(false, end_raw);
+  t.out.result = std::move(res);
+  t.journal = t.out.result.checkpoint;
+  t.session.reset();
+  t.controller.reset();
+  running_.erase(std::find(running_.begin(), running_.end(), &t));
+  running_peak_sum_ -= session_peak_;
+  ++t.deadline_aborts;
+  record(t, RecoveryAction::kDeadlineAbort, sim_.now(),
+         "attempt hit its " + std::to_string(t.attempt_deadline) +
+             " s deadline; checkpoint taken");
+  if (t.deadline_aborts >= policy_.supervision.max_attempts) {
+    fail(t, "retry budget (" + std::to_string(policy_.supervision.max_attempts) +
+                " attempts) spent");
+    return;
+  }
+  if (!t.journal) {
+    fail(t, "aborted run left no checkpoint");
+    return;
+  }
+  if (const auto step = t.ladder.on_abort(policy_.supervision)) {
+    record(t, *step, sim_.now(),
+           *step == RecoveryAction::kReduceChannels
+               ? "stepping down to " + std::to_string(t.ladder.channels) + " channels"
+               : "channel floor reached; falling back to the minimum-energy plan");
+  }
+  // An aborted job keeps its place at the head of its class: it has already
+  // burned site time and should finish before fresh arrivals of equal rank.
+  t.state = Tenant::State::kQueued;
+  const int rank = class_rank(t.out.sla_class);
+  auto it = queue_.begin();
+  while (it != queue_.end() && class_rank((*it)->out.sla_class) < rank) ++it;
+  queue_.insert(it, &t);
+}
+
+void Scheduler::complete(Tenant& t) {
+  Seconds end_raw = sim_.now();
+  if (t.attempt_deadline > 0.0) {
+    // Same clamp as the single-session run loop: ticker float error must not
+    // push a finish past the watchdog deadline it was admitted under.
+    end_raw = std::min(end_raw, t.attempt_started + t.attempt_deadline);
+  }
+  t.out.result = t.session->finalize(true, end_raw);
+  t.session.reset();
+  t.controller.reset();
+  running_.erase(std::find(running_.begin(), running_.end(), &t));
+  running_peak_sum_ -= session_peak_;
+  t.out.finished_at = sim_.now();
+  ++report_.completed;
+  if (t.spec.job.policy == JobPolicy::kSla) {
+    const BitsPerSecond target = reference_rate_ * t.spec.job.sla_percent / 100.0;
+    t.out.sla_met = t.out.result.avg_throughput() >= target * 0.93;
+  } else {
+    t.out.sla_met = true;
+  }
+  decide(t, obs::DecisionKind::kSchedulerDone, "done " + t.out.name,
+         "completed in " + std::to_string(t.out.attempts) + " attempt(s), " +
+             std::to_string(t.out.preemptions) + " preemption(s)");
+  retire(t);
+}
+
+void Scheduler::fail(Tenant& t, std::string reason) {
+  t.out.failed = true;
+  t.out.sla_met = false;
+  t.out.finished_at = sim_.now();
+  ++report_.failed;
+  record(t, RecoveryAction::kGiveUp, sim_.now(), reason);
+  decide(t, obs::DecisionKind::kSchedulerDone, "failed " + t.out.name,
+         std::move(reason));
+  retire(t);
+}
+
+void Scheduler::retire(Tenant& t) {
+  t.state = Tenant::State::kDone;
+  if (t.out.finished_at <= 0.0) t.out.finished_at = sim_.now();
+  --unfinished_;
+  if (t.sinks != nullptr && t.sinks->metrics != nullptr) {
+    auto& m = *t.sinks->metrics;
+    const std::string prefix = "tenant." + t.out.name + ".";
+    m.counter(prefix + "attempts").add(static_cast<std::uint64_t>(t.out.attempts));
+    if (t.out.preemptions > 0) {
+      m.counter(prefix + "preemptions")
+          .add(static_cast<std::uint64_t>(t.out.preemptions));
+    }
+    if (t.out.deferrals > 0) {
+      m.counter(prefix + "deferrals").add(static_cast<std::uint64_t>(t.out.deferrals));
+    }
+    const char* fate = t.out.rejected ? "rejected" : t.out.failed ? "failed" : "completed";
+    m.counter(prefix + fate).add(1);
+  }
+}
+
+bool Scheduler::master_tick() {
+  if (sim_.now() > policy_.horizon) return false;
+
+  // Watchdogs first, mirroring the single-session guard: a leg whose local
+  // clock has passed its deadline is aborted before this tick's work.
+  if (policy_.supervision.attempt_deadline > 0.0 && !running_.empty()) {
+    std::vector<Tenant*> overdue;
+    for (Tenant* t : running_) {
+      if (sim_.now() - t->attempt_started > t->attempt_deadline) overdue.push_back(t);
+    }
+    for (Tenant* t : overdue) {
+      abort_attempt(*t, t->attempt_started + t->attempt_deadline);
+    }
+    if (!overdue.empty()) try_dispatch();
+  }
+
+  if (!running_.empty()) {
+    // Phase 1: per-session prepare + demand collection, in admission order.
+    for (Tenant* t : running_) t->session->tick_prepare();
+    for (Tenant* t : running_) t->session->collect_link_demands();
+
+    // The shared path: site-level brownouts scale it for everyone, and a
+    // per-session fault brownout is a property of the path too — the most
+    // degraded view wins. With one tenant and no site events this is exactly
+    // the session's own `bandwidth * path_factor`.
+    double min_path = running_.front()->session->path_factor();
+    for (const Tenant* t : running_) {
+      min_path = std::min(min_path, t->session->path_factor());
+    }
+    const BitsPerSecond capacity =
+        testbed_.env.path.available_bandwidth() * link_factor_ * min_path;
+
+    // Phase 2: ONE joint fair-share round over every tenant's demands.
+    arbiter_.begin_round(capacity);
+    for (Tenant* t : running_) arbiter_.submit(t->session->link_demands());
+    arbiter_.allocate();
+
+    double agg_demand = 0.0;
+    int agg_streams = 0;
+    for (const Tenant* t : running_) {
+      agg_demand += t->session->aggregate_demand();
+      agg_streams += t->session->aggregate_streams();
+    }
+    const double eff = net::congestion_efficiency(testbed_.env.congestion, agg_demand,
+                                                  capacity, agg_streams);
+    double total_avg = 0.0;
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      for (const BitsPerSecond a : arbiter_.slice(i)) total_avg += a * eff;
+    }
+    const double burst_cap =
+        total_avg > 0.0 ? std::max(1.0, capacity / total_avg) : 1.0;
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      running_[i]->session->apply_link_allocation(arbiter_.slice(i), eff, burst_cap);
+    }
+
+    // Phase 3: advance every session, then close the power books for the
+    // tick. Completions are collected first so the sum covers every tenant
+    // that was live during the slice.
+    std::vector<Tenant*> finished;
+    Watts measured = 0.0;
+    for (Tenant* t : running_) {
+      const bool more = t->session->advance_tick();
+      measured += t->session->last_tick_power();
+      if (!more) finished.push_back(t);
+    }
+    report_.peak_power = std::max(report_.peak_power, measured);
+    if (policy_.power_cap > 0.0 && measured > policy_.power_cap * (1.0 + 1e-9)) {
+      ++report_.power_cap_violations;
+    }
+    if (!running_.empty() && collector_ != nullptr) {
+      collector_->metrics().gauge("scheduler.peak_power_w").set_max(measured);
+    }
+    for (Tenant* t : finished) complete(*t);
+  }
+
+  try_dispatch();
+  return unfinished_ > 0;
+}
+
+SchedulerReport Scheduler::run(std::vector<SchedulerJob> jobs) {
+  report_ = {};
+  session_peak_ = session_peak_power_bound(testbed_.env);
+  tenants_.clear();
+  tenants_.reserve(jobs.size());
+  unfinished_ = static_cast<int>(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    auto t = std::make_unique<Tenant>();
+    t->index = i;
+    t->spec = std::move(jobs[i]);
+    t->ladder = LadderState{t->spec.job.policy, std::max(1, t->spec.job.max_channels)};
+    t->out.name = t->spec.job.name;
+    t->out.policy = t->spec.job.policy;
+    t->out.sla_class = sla_class_of(t->spec.job.policy);
+    t->out.submitted_at = t->spec.submit_at;
+    if (collector_ != nullptr) {
+      t->sinks = collector_->slot(slot_base_ + i, t->spec.job.name);
+    } else {
+      t->sinks = base_config_.obs;
+    }
+    tenants_.push_back(std::move(t));
+  }
+
+  for (const auto& t : tenants_) {
+    Tenant* tp = t.get();
+    sim_.schedule_at(tp->spec.submit_at, [this, tp] { on_submit(*tp); });
+  }
+  for (const auto& b : policy_.link_brownouts) {
+    sim_.schedule_at(b.start, [this, f = b.capacity_factor] {
+      link_factor_ = std::max(0.0, f);
+    });
+    sim_.schedule_at(b.start + b.duration, [this] { link_factor_ = 1.0; });
+  }
+  sim_.add_ticker(base_config_.tick, [this] { return master_tick(); });
+  sim_.run_until(policy_.horizon + base_config_.tick);
+
+  // The horizon: anything still in flight is closed out honestly.
+  for (const auto& tp : tenants_) {
+    Tenant& t = *tp;
+    switch (t.state) {
+      case Tenant::State::kRunning: {
+        t.out.result = t.session->finalize(false, sim_.now());
+        t.session.reset();
+        t.controller.reset();
+        running_.erase(std::find(running_.begin(), running_.end(), &t));
+        running_peak_sum_ -= session_peak_;
+        fail(t, "still running at the scheduler horizon");
+        break;
+      }
+      case Tenant::State::kQueued:
+      case Tenant::State::kDeferred:
+        fail(t, "horizon reached while waiting for capacity");
+        break;
+      case Tenant::State::kPending:
+      case Tenant::State::kDone:
+        break;
+    }
+  }
+  queue_.clear();
+
+  for (const auto& tp : tenants_) {
+    Tenant& t = *tp;
+    if (t.state != Tenant::State::kDone) continue;  // never submitted
+    report_.total_bytes += t.out.result.bytes;
+    report_.total_energy += t.out.result.end_system_energy;
+    if (tariff_ && t.out.attempts > 0 && t.out.finished_at > t.out.started_at) {
+      t.out.cost_usd = tariff_->cost(t.out.result.end_system_energy,
+                                     tariff_start_ + t.out.started_at,
+                                     t.out.finished_at - t.out.started_at);
+      report_.total_cost_usd += t.out.cost_usd;
+    }
+    report_.makespan = std::max(report_.makespan, t.out.finished_at);
+    SlaClassStats& cls = t.out.sla_class == SlaClass::kInteractive ? report_.interactive
+                         : t.out.sla_class == SlaClass::kStandard  ? report_.standard
+                                                                   : report_.scavenger;
+    ++cls.submitted;
+    if (t.out.rejected) {
+      ++cls.rejected;
+    } else if (t.out.failed) {
+      ++cls.failed;
+    } else {
+      ++cls.completed;
+      cls.sla_met += t.out.sla_met ? 1 : 0;
+    }
+    report_.jobs.push_back(std::move(t.out));
+  }
+  return report_;
+}
+
+}  // namespace eadt::exp

@@ -1,0 +1,245 @@
+// Multi-tenant admission control and overload resilience on one simulation.
+//
+// The TransferService runs jobs back to back: one DTN pair, one transfer at a
+// time. A real provider runs many tenants at once — their sessions contend
+// for the shared path — and must stay upright when the offered load exceeds
+// what the site can carry. The Scheduler is that layer:
+//
+//   * several proto::TransferSessions co-exist on ONE sim::Simulation; every
+//     master tick the scheduler collects each session's link demands and runs
+//     a single joint net::fair_share round (net::LinkArbiter), so channels of
+//     different tenants contend exactly like channels of one session;
+//   * admission control: the waiting queue is bounded; jobs past the bound
+//     are shed (rejected) with honest accounting, never silently dropped;
+//   * a site-wide power cap: a job is dispatched only when the sum of the
+//     running sessions' provable peak draws plus its own fits under the cap,
+//     so the measured power can never exceed the cap between ticks;
+//   * SLA classes mapped from JobPolicy: interactive (kDeadline, kSla) may
+//     preempt, standard (kBalanced, kEnergyBudget) queues, scavenger
+//     (kGreen) is preemptible and tariff-deferrable;
+//   * preemption reuses the checkpoint journal: a preempted scavenger is
+//     checkpointed, finalized, and re-queued; it later *resumes* — landed
+//     bytes are never re-paid (same machinery as the Supervisor ladder);
+//   * per-tenant deadline watchdogs and the degradation ladder
+//     (exp::LadderState) apply to every running session, so the
+//     supervised-retry semantics of the sequential service carry over;
+//   * a tariff-aware deferral window shifts scavenger starts into the
+//     cheapest price band when one is attached.
+//
+// Determinism: everything is driven by the shared Simulation clock —
+// submissions are events, arbitration happens in admission order, and the
+// report is bit-reproducible for a fixed (testbed, jobs, policy, faults).
+// With a single tenant and no site events the tick pipeline degenerates to
+// exactly the single-session engine (same operations, same order), which is
+// what keeps the existing goldens byte-identical.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/service.hpp"
+#include "exp/supervisor.hpp"
+#include "net/fair_share.hpp"
+#include "power/tariff.hpp"
+#include "proto/faults.hpp"
+#include "proto/session.hpp"
+#include "sim/simulation.hpp"
+#include "testbeds/testbeds.hpp"
+
+namespace eadt::obs {
+class ObsCollector;
+}  // namespace eadt::obs
+
+namespace eadt::exp {
+
+/// Per-tenant service class, mapped from the job's policy. The class decides
+/// how a job behaves under pressure, not which algorithm it runs.
+enum class SlaClass {
+  kInteractive,  ///< kDeadline / kSla: latency promises; may trigger preemption
+  kStandard,     ///< kBalanced / kEnergyBudget: queues, never preempts
+  kScavenger,    ///< kGreen: preemptible, tariff-deferrable background work
+};
+
+[[nodiscard]] const char* to_string(SlaClass cls) noexcept;
+[[nodiscard]] SlaClass sla_class_of(JobPolicy policy) noexcept;
+
+/// One tenant submission: a service job plus its arrival on the shared
+/// timeline (simulated seconds from the scheduler's start).
+struct SchedulerJob {
+  TransferJob job;
+  Seconds submit_at = 0.0;
+};
+
+struct SchedulerPolicy {
+  /// Running sessions allowed at once (the DTN slice count).
+  int max_concurrent = 4;
+  /// Waiting jobs held (deferred ones included); arrivals past this are shed.
+  int max_queue_depth = 16;
+  /// Site-wide cap on the summed end-system draw of running sessions, in
+  /// watts. 0 = uncapped. Enforced against each session's provable peak at
+  /// dispatch time, so the measured sum can never exceed it between ticks.
+  Watts power_cap = 0.0;
+  /// Per-attempt watchdogs + degradation ladder, as in the sequential
+  /// Supervisor. attempt_deadline 0 leaves only the horizon guard.
+  SupervisorPolicy supervision;
+  /// Longest a scavenger start may be shifted toward the tariff's cheapest
+  /// band (simulated seconds). 0 disables deferral.
+  Seconds max_defer = 0.0;
+  /// Site-level capacity events (maintenance, cross-traffic storms) applied
+  /// to the shared link on top of any per-session fault plan: every tenant
+  /// sees them, which is what makes a brownout a property of the path.
+  std::vector<proto::PathBrownoutEvent> link_brownouts;
+  /// Hard stop for the whole schedule; jobs still running are failed.
+  Seconds horizon = 7.0 * 24 * 3600;
+};
+
+/// Per-class aggregate accounting.
+struct SlaClassStats {
+  int submitted = 0;
+  int rejected = 0;
+  int completed = 0;
+  int failed = 0;
+  int sla_met = 0;  ///< over completed jobs
+};
+
+/// One tenant's fate, in submission order.
+struct TenantOutcome {
+  std::string name;
+  JobPolicy policy = JobPolicy::kBalanced;
+  SlaClass sla_class = SlaClass::kStandard;
+  Seconds submitted_at = 0.0;
+  Seconds started_at = 0.0;    ///< first dispatch (0 if never started)
+  Seconds finished_at = 0.0;   ///< completion / failure / rejection time
+  bool rejected = false;       ///< shed at admission; never ran
+  bool failed = false;
+  bool sla_met = true;         ///< kSla scoring as in the Supervisor
+  int attempts = 0;            ///< dispatched legs (resumes included)
+  int preemptions = 0;
+  int deferrals = 0;
+  /// Cumulative over all legs (a resumed session reports running totals).
+  proto::RunResult result;
+  RecoveryLog recovery;        ///< every scheduler/ladder decision, in order
+  double cost_usd = 0.0;       ///< 0 unless a tariff is attached
+
+  [[nodiscard]] double throughput_mbps() const {
+    return to_mbps(result.avg_throughput());
+  }
+};
+
+struct SchedulerReport {
+  std::vector<TenantOutcome> jobs;  ///< submission order
+  int submitted = 0;
+  int accepted = 0;   ///< submitted - rejected
+  int rejected = 0;
+  int completed = 0;
+  int failed = 0;     ///< accepted jobs that never completed
+  int preemptions = 0;
+  int deferrals = 0;
+  Seconds makespan = 0.0;
+  Bytes total_bytes = 0;
+  Joules total_energy = 0.0;
+  double total_cost_usd = 0.0;
+  /// Highest summed per-tick end-system draw actually measured.
+  Watts peak_power = 0.0;
+  /// Highest summed *provable* peak of concurrently running sessions — the
+  /// quantity the cap is enforced against; peak_power <= this <= power_cap.
+  Watts peak_power_bound = 0.0;
+  /// Ticks whose measured sum exceeded the cap. The dispatch rule makes this
+  /// impossible; the fuzz battery asserts it stays 0.
+  int power_cap_violations = 0;
+  int max_concurrent_observed = 0;
+  SlaClassStats interactive, standard, scavenger;
+
+  /// accepted == submitted - rejected and completed + failed == accepted
+  /// once the run has ended; the fuzz battery asserts this conservation.
+  [[nodiscard]] bool accounting_consistent() const noexcept {
+    return accepted == submitted - rejected && completed + failed == accepted;
+  }
+};
+
+/// Provable upper bound on one session's end-system draw: every server of
+/// both endpoints at full component utilization, Eq. 2 evaluated at its
+/// worst admissible core count. Monotone-safe: the measured per-tick power
+/// of any session on this environment is <= this bound.
+[[nodiscard]] Watts session_peak_power_bound(const proto::Environment& env);
+
+class Scheduler {
+ public:
+  Scheduler(const testbeds::Testbed& testbed, BitsPerSecond reference_rate,
+            SchedulerPolicy policy, proto::SessionConfig base_config = {});
+  ~Scheduler();  // out of line: Tenant is incomplete here
+
+  /// Subject every tenant session to this failure workload (attempt-local
+  /// times, like the Supervisor's).
+  void set_fault_plan(proto::FaultPlan faults) { faults_ = std::move(faults); }
+
+  /// Attach an electricity tariff; `start_time` is seconds since midnight at
+  /// scheduler time 0. Enables scavenger deferral (SchedulerPolicy::max_defer)
+  /// and per-job cost accounting.
+  void set_tariff(power::Tariff tariff, Seconds start_time = 0.0) {
+    tariff_ = std::move(tariff);
+    tariff_start_ = start_time;
+  }
+
+  /// Per-tenant observability: tenant i publishes into
+  /// `collector->slot(slot_base + i, job name)` (trace + decisions per slot,
+  /// one shared metrics registry). Null detaches. A bench running several
+  /// Scheduler scenarios against one collector must give each a
+  /// non-overlapping slot_base — slots are single-writer. The collector must
+  /// outlive run().
+  void set_collector(obs::ObsCollector* collector, std::size_t slot_base = 0) noexcept {
+    collector_ = collector;
+    slot_base_ = slot_base;
+  }
+
+  /// Run the whole schedule to quiescence (or the horizon). Deterministic;
+  /// one call per Scheduler instance.
+  [[nodiscard]] SchedulerReport run(std::vector<SchedulerJob> jobs);
+
+  [[nodiscard]] BitsPerSecond reference_rate() const noexcept { return reference_rate_; }
+
+ private:
+  struct Tenant;
+
+  void on_submit(Tenant& t);
+  void enqueue(Tenant& t);
+  void try_dispatch();
+  [[nodiscard]] bool can_dispatch(const Tenant& t) const;
+  void dispatch(Tenant& t);
+  void preempt(Tenant& t);
+  void abort_attempt(Tenant& t, Seconds end_raw);
+  void complete(Tenant& t);
+  void fail(Tenant& t, std::string reason);
+  void retire(Tenant& t);
+  bool master_tick();
+  void record(Tenant& t, RecoveryAction action, Seconds at, std::string detail);
+  void decide(Tenant& t, obs::DecisionKind kind, std::string subject,
+              std::string detail);
+  [[nodiscard]] Seconds defer_delay(const Tenant& t) const;
+
+  const testbeds::Testbed& testbed_;
+  BitsPerSecond reference_rate_ = 0.0;
+  SchedulerPolicy policy_;
+  proto::SessionConfig base_config_;
+  proto::FaultPlan faults_;
+  std::optional<power::Tariff> tariff_;
+  Seconds tariff_start_ = 0.0;
+  obs::ObsCollector* collector_ = nullptr;
+  std::size_t slot_base_ = 0;
+
+  // --- run() state -------------------------------------------------------
+  sim::Simulation sim_;
+  net::LinkArbiter arbiter_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::vector<Tenant*> queue_;    ///< waiting, in priority order
+  std::vector<Tenant*> running_;  ///< dispatch order (preemption scans back)
+  Watts running_peak_sum_ = 0.0;  ///< sum of running sessions' peak bounds
+  Watts session_peak_ = 0.0;      ///< per-session bound (one shared env)
+  double link_factor_ = 1.0;      ///< site-level brownout factor
+  int unfinished_ = 0;            ///< tenants not yet terminal
+  SchedulerReport report_;
+};
+
+}  // namespace eadt::exp

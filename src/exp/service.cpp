@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "baselines/baselines.hpp"
+#include "exp/scheduler.hpp"
 #include "obs/obs.hpp"
 
 namespace eadt::exp {
@@ -40,6 +41,16 @@ JobOutcome TransferService::run_job(const TransferJob& job) const {
       supervisor_ ? *supervisor_ : SupervisorPolicy{0.0, 1, 1, 0.5, 1, false};
   Supervisor supervisor(testbed_, reference_rate_, faults_, policy, config_);
   return supervisor.run(job);
+}
+
+SchedulerReport TransferService::run_concurrent(std::vector<SchedulerJob> jobs,
+                                                const SchedulerPolicy& policy,
+                                                obs::ObsCollector* collector) {
+  Scheduler scheduler(testbed_, reference_rate_, policy, config_);
+  scheduler.set_fault_plan(faults_);
+  if (tariff_) scheduler.set_tariff(*tariff_, queue_start_time_);
+  scheduler.set_collector(collector);
+  return scheduler.run(std::move(jobs));
 }
 
 ServiceReport TransferService::run_queue(std::vector<TransferJob> jobs,

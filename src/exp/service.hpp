@@ -24,6 +24,10 @@
 #include "proto/session.hpp"
 #include "testbeds/testbeds.hpp"
 
+namespace eadt::obs {
+class ObsCollector;
+}  // namespace eadt::obs
+
 namespace eadt::exp {
 
 enum class JobPolicy { kDeadline, kGreen, kBalanced, kSla, kEnergyBudget };
@@ -81,6 +85,10 @@ enum class QueueOrder {
   kGreenFirst,     ///< energy-minimising jobs first (off-peak shaping)
 };
 
+struct SchedulerJob;     // scheduler.hpp
+struct SchedulerPolicy;  // scheduler.hpp
+struct SchedulerReport;  // scheduler.hpp
+
 class TransferService {
  public:
   /// `reference_rate` = 0 measures it (one ProMC run at default channels).
@@ -91,6 +99,14 @@ class TransferService {
   /// Run all jobs back to back in the given order. Deterministic.
   [[nodiscard]] ServiceReport run_queue(std::vector<TransferJob> jobs,
                                         QueueOrder order = QueueOrder::kFifo);
+
+  /// Multi-tenant mode: all jobs on one shared simulation under admission
+  /// control, a site power cap, and joint link arbitration (exp::Scheduler).
+  /// The service's tariff, fault plan, and reference rate carry over;
+  /// `collector` (may be null) receives per-tenant observability slots.
+  [[nodiscard]] SchedulerReport run_concurrent(std::vector<SchedulerJob> jobs,
+                                               const SchedulerPolicy& policy,
+                                               obs::ObsCollector* collector = nullptr);
 
   [[nodiscard]] BitsPerSecond reference_rate() const noexcept { return reference_rate_; }
 

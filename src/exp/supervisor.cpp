@@ -11,31 +11,34 @@
 #include "obs/obs.hpp"
 
 namespace eadt::exp {
-namespace {
 
-obs::DecisionKind decision_kind(RecoveryAction action) noexcept {
+obs::DecisionKind recovery_decision_kind(RecoveryAction action) noexcept {
   switch (action) {
     case RecoveryAction::kResume: return obs::DecisionKind::kSupervisorRetry;
     case RecoveryAction::kDeadlineAbort: return obs::DecisionKind::kSupervisorAbort;
     case RecoveryAction::kReduceChannels:
     case RecoveryAction::kPolicyFallback: return obs::DecisionKind::kSupervisorDegrade;
     case RecoveryAction::kGiveUp: return obs::DecisionKind::kSupervisorGiveUp;
+    case RecoveryAction::kPreempt: return obs::DecisionKind::kSchedulerPreempt;
+    case RecoveryAction::kShed: return obs::DecisionKind::kSchedulerShed;
+    case RecoveryAction::kDefer: return obs::DecisionKind::kSchedulerDefer;
   }
   return obs::DecisionKind::kSupervisorGiveUp;
 }
 
-const char* action_metric(RecoveryAction action) noexcept {
+const char* recovery_metric(RecoveryAction action) noexcept {
   switch (action) {
     case RecoveryAction::kResume: return "supervisor.resumes";
     case RecoveryAction::kDeadlineAbort: return "supervisor.deadline_aborts";
     case RecoveryAction::kReduceChannels: return "supervisor.channel_reductions";
     case RecoveryAction::kPolicyFallback: return "supervisor.policy_fallbacks";
     case RecoveryAction::kGiveUp: return "supervisor.give_ups";
+    case RecoveryAction::kPreempt: return "scheduler.preemptions";
+    case RecoveryAction::kShed: return "scheduler.shed_jobs";
+    case RecoveryAction::kDefer: return "scheduler.deferrals";
   }
   return "supervisor.unknown";
 }
-
-}  // namespace
 
 const char* to_string(RecoveryAction action) noexcept {
   switch (action) {
@@ -44,6 +47,9 @@ const char* to_string(RecoveryAction action) noexcept {
     case RecoveryAction::kReduceChannels: return "reduce-channels";
     case RecoveryAction::kPolicyFallback: return "policy-fallback";
     case RecoveryAction::kGiveUp: return "give-up";
+    case RecoveryAction::kPreempt: return "preempt";
+    case RecoveryAction::kShed: return "shed";
+    case RecoveryAction::kDefer: return "defer";
   }
   return "?";
 }
@@ -59,6 +65,56 @@ bool RecoveryLog::degraded() const noexcept {
          count(RecoveryAction::kPolicyFallback) > 0;
 }
 
+OperatingPoint make_operating_point(const proto::Environment& env,
+                                    const proto::Dataset& dataset, JobPolicy policy,
+                                    int max_channels, double sla_percent,
+                                    Joules energy_budget, BitsPerSecond reference_rate,
+                                    obs::DecisionLog* decisions) {
+  OperatingPoint op;
+  const int cc = std::max(1, max_channels);
+  switch (policy) {
+    case JobPolicy::kDeadline:
+      op.plan = baselines::plan_promc(env, dataset, cc);
+      break;
+    case JobPolicy::kGreen:
+      op.plan = core::plan_min_energy(env, dataset, cc, decisions);
+      break;
+    case JobPolicy::kBalanced:
+      op.plan = core::plan_htee(env, dataset, cc, decisions);
+      op.controller = std::make_unique<core::HteeController>(cc);
+      break;
+    case JobPolicy::kSla: {
+      const BitsPerSecond target = reference_rate * sla_percent / 100.0;
+      op.plan = core::plan_slaee(env, dataset, cc, decisions);
+      op.controller = std::make_unique<core::SlaeeController>(target, cc);
+      break;
+    }
+    case JobPolicy::kEnergyBudget:
+      op.plan = baselines::plan_promc(env, dataset, cc);
+      op.controller = std::make_unique<core::EnergyBudgetController>(energy_budget, cc);
+      break;
+  }
+  return op;
+}
+
+std::optional<RecoveryAction> LadderState::on_abort(const SupervisorPolicy& p) {
+  ++aborts_at_point;
+  if (aborts_at_point < p.degrade_after) return std::nullopt;
+  if (channels > p.min_channels) {
+    const int next = std::max(p.min_channels,
+                              static_cast<int>(std::floor(channels * p.channel_step)));
+    channels = next < channels ? next : channels - 1;
+    aborts_at_point = 0;
+    return RecoveryAction::kReduceChannels;
+  }
+  if (p.policy_fallback && policy != JobPolicy::kGreen) {
+    policy = JobPolicy::kGreen;
+    aborts_at_point = 0;
+    return RecoveryAction::kPolicyFallback;
+  }
+  return std::nullopt;
+}
+
 Supervisor::Supervisor(const testbeds::Testbed& testbed, BitsPerSecond reference_rate,
                        proto::FaultPlan faults, SupervisorPolicy policy,
                        proto::SessionConfig base_config)
@@ -69,44 +125,21 @@ proto::RunResult Supervisor::attempt(const TransferJob& job, JobPolicy policy,
                                      int max_channels,
                                      const proto::SessionConfig& config,
                                      const proto::TransferCheckpoint* resume) const {
-  const auto& env = testbed_.env;
-  const int cc = std::max(1, max_channels);
-  const auto execute = [&](proto::TransferPlan plan,
-                           proto::Controller* controller = nullptr) {
-    proto::TransferSession s(env, job.dataset, std::move(plan), config);
-    s.set_fault_plan(faults_);
-    if (resume != nullptr) {
-      std::string err;
-      if (!s.resume_from(*resume, &err)) {
-        proto::RunResult refused;
-        refused.error = "resume failed: " + err;
-        return refused;
-      }
-    }
-    return s.run(controller);
-  };
-
   obs::DecisionLog* decisions = config.obs != nullptr ? config.obs->decisions : nullptr;
-  switch (policy) {
-    case JobPolicy::kDeadline:
-      return execute(baselines::plan_promc(env, job.dataset, cc));
-    case JobPolicy::kGreen:
-      return execute(core::plan_min_energy(env, job.dataset, cc, decisions));
-    case JobPolicy::kBalanced: {
-      core::HteeController ctl(cc);
-      return execute(core::plan_htee(env, job.dataset, cc, decisions), &ctl);
-    }
-    case JobPolicy::kSla: {
-      const BitsPerSecond target = reference_rate_ * job.sla_percent / 100.0;
-      core::SlaeeController ctl(target, cc);
-      return execute(core::plan_slaee(env, job.dataset, cc, decisions), &ctl);
-    }
-    case JobPolicy::kEnergyBudget: {
-      core::EnergyBudgetController ctl(job.energy_budget, cc);
-      return execute(baselines::plan_promc(env, job.dataset, cc), &ctl);
+  OperatingPoint op =
+      make_operating_point(testbed_.env, job.dataset, policy, max_channels,
+                           job.sla_percent, job.energy_budget, reference_rate_, decisions);
+  proto::TransferSession s(testbed_.env, job.dataset, std::move(op.plan), config);
+  s.set_fault_plan(faults_);
+  if (resume != nullptr) {
+    std::string err;
+    if (!s.resume_from(*resume, &err)) {
+      proto::RunResult refused;
+      refused.error = "resume failed: " + err;
+      return refused;
     }
   }
-  return {};
+  return s.run(op.controller.get());
 }
 
 JobOutcome Supervisor::run(const TransferJob& job) const {
@@ -114,29 +147,27 @@ JobOutcome Supervisor::run(const TransferJob& job) const {
   out.name = job.name;
   out.policy = job.policy;
 
-  JobPolicy policy = job.policy;
-  int channels = std::max(1, job.max_channels);
-  int aborts_at_point = 0;
+  LadderState ladder{job.policy, std::max(1, job.max_channels)};
   std::optional<proto::TransferCheckpoint> journal;
 
   obs::ObsSinks* obs = base_config_.obs;
   const auto log = [&](RecoveryAction action, int attempt_no, Seconds at,
                        std::string detail) {
     out.recovery.events.push_back(
-        {at, attempt_no, action, to_string(policy), channels, detail});
+        {at, attempt_no, action, to_string(ladder.policy), ladder.channels, detail});
     // Mirror every audited supervision decision into the observability layer,
     // so traces and RecoveryLog never disagree about what the ladder did.
     if (obs == nullptr) return;
-    if (obs->metrics != nullptr) obs->metrics->counter(action_metric(action)).add(1);
+    if (obs->metrics != nullptr) obs->metrics->counter(recovery_metric(action)).add(1);
     if (obs->decisions != nullptr) {
       obs::Decision d;
       d.at = at;
-      d.kind = decision_kind(action);
+      d.kind = recovery_decision_kind(action);
       d.actor = "Supervisor";
-      d.level = channels;
-      d.chosen = channels;
+      d.level = ladder.channels;
+      d.chosen = ladder.channels;
       d.subject = std::string(to_string(action)) + " (attempt " +
-                  std::to_string(attempt_no) + ", " + to_string(policy) + ")";
+                  std::to_string(attempt_no) + ", " + to_string(ladder.policy) + ")";
       d.detail = std::move(detail);
       obs->decisions->record(std::move(d));
     }
@@ -156,11 +187,13 @@ JobOutcome Supervisor::run(const TransferJob& job) const {
       obs->trace->begin(attempt_start, obs::kControlTid,
                         obs->trace->intern("supervisor attempt " +
                                            std::to_string(attempt_no) + " (" +
-                                           to_string(policy) + ")"),
-                        "supervisor", {"channels", static_cast<double>(channels)},
+                                           to_string(ladder.policy) + ")"),
+                        "supervisor",
+                        {"channels", static_cast<double>(ladder.channels)},
                         {"attempt", static_cast<double>(attempt_no)});
     }
-    out.result = attempt(job, policy, channels, config, journal ? &*journal : nullptr);
+    out.result = attempt(job, ladder.policy, ladder.channels, config,
+                         journal ? &*journal : nullptr);
     if (obs != nullptr && obs->trace != nullptr) {
       obs->trace->end(std::max(attempt_start, out.result.duration), obs::kControlTid);
     }
@@ -176,17 +209,16 @@ JobOutcome Supervisor::run(const TransferJob& job) const {
         d.at = out.result.duration;
         d.kind = obs::DecisionKind::kSupervisorDone;
         d.actor = "Supervisor";
-        d.level = channels;
-        d.chosen = channels;
+        d.level = ladder.channels;
+        d.chosen = ladder.channels;
         d.subject = "job completed (attempt " + std::to_string(attempt_no) + ")";
-        d.detail = std::string("finished under the ") + to_string(policy) +
-                   " policy at " + std::to_string(channels) + " channels";
+        d.detail = std::string("finished under the ") + to_string(ladder.policy) +
+                   " policy at " + std::to_string(ladder.channels) + " channels";
         obs->decisions->record(std::move(d));
       }
       break;
     }
 
-    ++aborts_at_point;
     log(RecoveryAction::kDeadlineAbort, attempt_no, out.result.duration,
         "attempt hit its " + std::to_string(config.max_sim_time) +
             " s deadline; checkpoint taken");
@@ -206,21 +238,11 @@ JobOutcome Supervisor::run(const TransferJob& job) const {
     }
     journal = out.result.checkpoint;
 
-    if (aborts_at_point >= policy_.degrade_after) {
-      if (channels > policy_.min_channels) {
-        const int next = std::max(
-            policy_.min_channels,
-            static_cast<int>(std::floor(channels * policy_.channel_step)));
-        channels = next < channels ? next : channels - 1;
-        aborts_at_point = 0;
-        log(RecoveryAction::kReduceChannels, attempt_no, out.result.duration,
-            "stepping down to " + std::to_string(channels) + " channels");
-      } else if (policy_.policy_fallback && policy != JobPolicy::kGreen) {
-        policy = JobPolicy::kGreen;
-        aborts_at_point = 0;
-        log(RecoveryAction::kPolicyFallback, attempt_no, out.result.duration,
-            "channel floor reached; falling back to the minimum-energy plan");
-      }
+    if (const auto step = ladder.on_abort(policy_)) {
+      log(*step, attempt_no, out.result.duration,
+          *step == RecoveryAction::kReduceChannels
+              ? "stepping down to " + std::to_string(ladder.channels) + " channels"
+              : "channel floor reached; falling back to the minimum-energy plan");
     }
     log(RecoveryAction::kResume, attempt_no + 1, journal->taken_at,
         "resuming from the checkpoint journal (" +

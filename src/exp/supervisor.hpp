@@ -18,6 +18,8 @@
 // observed conditions prove it untenable.
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,22 +29,37 @@
 #include "testbeds/testbeds.hpp"
 #include "util/units.hpp"
 
+namespace eadt::obs {
+class DecisionLog;
+enum class DecisionKind;
+}  // namespace eadt::obs
+
 namespace eadt::exp {
 
 struct TransferJob;        // service.hpp
 struct JobOutcome;         // service.hpp
 enum class JobPolicy;      // service.hpp
 
-/// One kind of supervision decision.
+/// One kind of supervision decision. The first five are the sequential
+/// Supervisor's; the last three are scheduler-level decisions (exp::Scheduler)
+/// audited through the same RecoveryLog so a tenant's history reads as one
+/// ladder regardless of which layer acted.
 enum class RecoveryAction {
   kResume,          ///< a new attempt started from the last checkpoint
   kDeadlineAbort,   ///< the watchdog cut an attempt short; checkpoint taken
   kReduceChannels,  ///< ladder step: lower concurrency
   kPolicyFallback,  ///< ladder step: fall back to the kGreen operating point
   kGiveUp,          ///< retry budget spent (or unrecoverable error): job failed
+  kPreempt,         ///< scheduler checkpointed a running job to free capacity
+  kShed,            ///< admission control rejected the job outright
+  kDefer,           ///< tariff-aware deferral moved the start off-peak
 };
 
 [[nodiscard]] const char* to_string(RecoveryAction action) noexcept;
+/// The obs::DecisionKind a recovery action is mirrored as.
+[[nodiscard]] obs::DecisionKind recovery_decision_kind(RecoveryAction action) noexcept;
+/// The obs metrics counter a recovery action increments.
+[[nodiscard]] const char* recovery_metric(RecoveryAction action) noexcept;
 
 /// One audited supervision decision.
 struct RecoveryEvent {
@@ -62,6 +79,25 @@ struct RecoveryLog {
   [[nodiscard]] bool degraded() const noexcept;
 };
 
+/// A ready-to-run operating point: the plan and (optional) controller a
+/// JobPolicy maps to. Built by make_operating_point for both the sequential
+/// Supervisor and the concurrent exp::Scheduler, so the two layers can never
+/// disagree about what a policy means.
+struct OperatingPoint {
+  proto::TransferPlan plan;
+  /// Null for the non-adaptive policies (kDeadline's ProMC, kGreen's MinE).
+  std::unique_ptr<proto::Controller> controller;
+};
+
+/// Map a job policy to its algorithmic operating point at `max_channels`
+/// (clamped to >= 1). `reference_rate`/`sla_percent` feed kSla's target,
+/// `energy_budget` feeds kEnergyBudget; `decisions` (may be null) receives
+/// the planning decisions exactly as in a supervised run.
+[[nodiscard]] OperatingPoint make_operating_point(
+    const proto::Environment& env, const proto::Dataset& dataset, JobPolicy policy,
+    int max_channels, double sla_percent, Joules energy_budget,
+    BitsPerSecond reference_rate, obs::DecisionLog* decisions);
+
 /// Knobs of the supervision loop.
 struct SupervisorPolicy {
   /// Watchdog: simulated seconds one attempt may run before it is aborted
@@ -75,6 +111,21 @@ struct SupervisorPolicy {
   int min_channels = 1;
   /// Allow the final rung: fall back to kGreen once channels bottom out.
   bool policy_fallback = true;
+};
+
+/// Degradation-ladder cursor: the stepping rule shared by the sequential
+/// Supervisor and the concurrent Scheduler. Holds a job's current operating
+/// point (policy + channel cap) and the aborts seen at it.
+struct LadderState {
+  JobPolicy policy;
+  int channels = 1;
+  int aborts_at_point = 0;
+
+  /// Register one abort at the current operating point. When the policy's
+  /// tolerance is spent, steps down one rung — first lower channels, then
+  /// the kGreen fallback — and reports which rung was taken; nullopt when
+  /// the ladder held position (tolerance remaining, or already at bottom).
+  std::optional<RecoveryAction> on_abort(const SupervisorPolicy& p);
 };
 
 /// Runs one job to completion (or retry exhaustion) under the policy above.

@@ -285,6 +285,31 @@ void write_bench_json(std::ostream& os, const BenchRecord& record) {
     }
     os << "  ]";
   }
+  if (!record.service.empty()) {
+    os << ",\n  \"service\": [\n";
+    for (std::size_t i = 0; i < record.service.size(); ++i) {
+      const ServiceScenarioRecord& s = record.service[i];
+      os << "    {\"name\":";
+      write_json_string(os, s.name);
+      os << ",\"submitted\":" << s.submitted << ",\"accepted\":" << s.accepted
+         << ",\"rejected\":" << s.rejected << ",\"completed\":" << s.completed
+         << ",\"failed\":" << s.failed << ",\"preemptions\":" << s.preemptions
+         << ",\"deferrals\":" << s.deferrals
+         << ",\"max_concurrent\":" << s.max_concurrent
+         << ",\"power_cap_violations\":" << s.power_cap_violations
+         << ",\"sla_interactive_met\":" << s.sla_interactive_met
+         << ",\"sla_interactive_completed\":" << s.sla_interactive_completed
+         << ",\"makespan_s\":" << jnum(s.makespan_s) << ",\"bytes\":" << s.bytes
+         << ",\"energy_j\":" << jnum(s.energy_j)
+         << ",\"cost_usd\":" << jnum(s.cost_usd)
+         << ",\"peak_power_w\":" << jnum(s.peak_power_w)
+         << ",\"peak_power_bound_w\":" << jnum(s.peak_power_bound_w)
+         << ",\"power_cap_w\":" << jnum(s.power_cap_w)
+         << ",\"wall_ms\":" << jnum(s.wall_ms) << "}";
+      os << (i + 1 < record.service.size() ? ",\n" : "\n");
+    }
+    os << "  ]";
+  }
   if (!record.metrics.empty()) {
     os << ",\n  \"metrics\": ";
     obs::write_metrics_object(os, record.metrics, 2);

@@ -148,6 +148,33 @@ struct MicroSample {
   double speedup = 0.0;               ///< 0 when the series has no baseline
 };
 
+/// One multi-tenant scheduler scenario's deterministic outcome, as recorded
+/// by bench/service_multitenant: the admission/preemption/power accounting an
+/// exp::SchedulerReport aggregates, flattened for the JSON record. Everything
+/// except `wall_ms` is bit-reproducible for a fixed scenario.
+struct ServiceScenarioRecord {
+  std::string name;  ///< scenario label, e.g. "overload_ramp"
+  int submitted = 0;
+  int accepted = 0;
+  int rejected = 0;
+  int completed = 0;
+  int failed = 0;
+  int preemptions = 0;
+  int deferrals = 0;
+  int max_concurrent = 0;          ///< highest simultaneous running sessions
+  int power_cap_violations = 0;    ///< must stay 0 under any cap
+  int sla_interactive_met = 0;     ///< over completed interactive jobs
+  int sla_interactive_completed = 0;
+  double makespan_s = 0.0;
+  std::uint64_t bytes = 0;
+  double energy_j = 0.0;
+  double cost_usd = 0.0;
+  double peak_power_w = 0.0;       ///< measured per-tick maximum
+  double peak_power_bound_w = 0.0; ///< provable bound the cap gates on
+  double power_cap_w = 0.0;        ///< 0 = scenario ran uncapped
+  double wall_ms = 0.0;            ///< non-deterministic; stripped in CI diffs
+};
+
 /// One bench invocation's machine-readable perf record: the grid, each
 /// task's deterministic result payload and simulation counters, and the
 /// (non-deterministic) wall times. Serialized to BENCH_<name>.json by the
@@ -166,6 +193,9 @@ struct BenchRecord {
   /// attached. Like `micro`, the section is emitted only when non-empty, so
   /// records (and their goldens) from unobserved runs are unchanged.
   std::vector<obs::MetricSnapshot> metrics;
+  /// Multi-tenant scheduler scenarios (service_multitenant only). Emitted
+  /// only when non-empty, like `micro` — schema-additive.
+  std::vector<ServiceScenarioRecord> service;
 };
 
 /// The commit stamp recorded in BenchRecords: $EADT_COMMIT if set, else the

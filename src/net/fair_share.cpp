@@ -63,4 +63,26 @@ FairShareResult fair_share(BitsPerSecond capacity, std::span<const Demand> deman
   return out;
 }
 
+void LinkArbiter::begin_round(BitsPerSecond capacity) {
+  capacity_ = capacity;
+  total_ = 0.0;
+  demands_.clear();
+  ranges_.clear();
+}
+
+std::size_t LinkArbiter::submit(std::span<const Demand> demands) {
+  ranges_.push_back({demands_.size(), demands.size()});
+  demands_.insert(demands_.end(), demands.begin(), demands.end());
+  return ranges_.size() - 1;
+}
+
+void LinkArbiter::allocate() {
+  total_ = fair_share_into(capacity_, demands_, allocation_, scratch_);
+}
+
+std::span<const BitsPerSecond> LinkArbiter::slice(std::size_t i) const {
+  const Range& r = ranges_[i];
+  return {allocation_.data() + r.offset, r.count};
+}
+
 }  // namespace eadt::net

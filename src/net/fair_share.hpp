@@ -51,4 +51,39 @@ BitsPerSecond fair_share_into(BitsPerSecond capacity, std::span<const Demand> de
 [[nodiscard]] FairShareResult fair_share(BitsPerSecond capacity,
                                          std::span<const Demand> demands);
 
+/// Joint arbitration of one shared link across several demand sets (the
+/// multi-tenant round of exp::Scheduler): each tenant session submits its
+/// per-channel demands, then allocate() runs ONE weighted max-min round over
+/// the concatenation, so channels of different tenants contend exactly like
+/// channels of one session — stream-count weighted, work-conserving, with no
+/// per-tenant reservations. slice(i) returns tenant i's view of the result
+/// in submission order. Buffers are reused across rounds (allocation-free
+/// once warm, like FairShareScratch).
+class LinkArbiter {
+ public:
+  /// Start a round. Earlier submissions are discarded.
+  void begin_round(BitsPerSecond capacity);
+  /// Add one tenant's demands; returns the tenant's slice index.
+  std::size_t submit(std::span<const Demand> demands);
+  /// Run the joint fair-share round. Call once per round, after all submits.
+  void allocate();
+  /// Tenant `i`'s slice of the joint allocation (valid until the next
+  /// begin_round). Aligned with the demands it submitted.
+  [[nodiscard]] std::span<const BitsPerSecond> slice(std::size_t i) const;
+  [[nodiscard]] BitsPerSecond capacity() const noexcept { return capacity_; }
+  [[nodiscard]] BitsPerSecond total() const noexcept { return total_; }
+
+ private:
+  struct Range {
+    std::size_t offset = 0;
+    std::size_t count = 0;
+  };
+  BitsPerSecond capacity_ = 0.0;
+  BitsPerSecond total_ = 0.0;
+  std::vector<Demand> demands_;
+  std::vector<Range> ranges_;
+  std::vector<BitsPerSecond> allocation_;
+  FairShareScratch scratch_;
+};
+
 }  // namespace eadt::net

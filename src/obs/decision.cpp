@@ -40,6 +40,12 @@ std::string_view to_string(DecisionKind kind) noexcept {
     case DecisionKind::kSupervisorDegrade: return "supervisor-degrade";
     case DecisionKind::kSupervisorGiveUp: return "supervisor-give-up";
     case DecisionKind::kSupervisorDone: return "supervisor-done";
+    case DecisionKind::kSchedulerAdmit: return "scheduler-admit";
+    case DecisionKind::kSchedulerShed: return "scheduler-shed";
+    case DecisionKind::kSchedulerDefer: return "scheduler-defer";
+    case DecisionKind::kSchedulerDispatch: return "scheduler-dispatch";
+    case DecisionKind::kSchedulerPreempt: return "scheduler-preempt";
+    case DecisionKind::kSchedulerDone: return "scheduler-done";
   }
   return "unknown";
 }

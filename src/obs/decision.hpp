@@ -37,6 +37,12 @@ enum class DecisionKind {
   kSupervisorDegrade,   ///< supervisor stepped down the degradation ladder
   kSupervisorGiveUp,    ///< supervisor exhausted the ladder
   kSupervisorDone,      ///< supervisor accepted a completed run
+  kSchedulerAdmit,      ///< scheduler accepted a tenant job into the queue
+  kSchedulerShed,       ///< admission control rejected a job (bounded queue)
+  kSchedulerDefer,      ///< tariff-aware deferral pushed a start off-peak
+  kSchedulerDispatch,   ///< scheduler started (or resumed) a tenant session
+  kSchedulerPreempt,    ///< scheduler checkpointed a job to free capacity
+  kSchedulerDone,       ///< scheduler retired a tenant job (either way)
 };
 
 [[nodiscard]] std::string_view to_string(DecisionKind kind) noexcept;

@@ -53,6 +53,29 @@ void write_metadata(std::ostream& os, bool& first, const char* which, int pid, i
   first = false;
 }
 
+void write_one_event(std::ostream& os, bool& first, int pid, const TraceEvent& e) {
+  write_event_prefix(os, first, static_cast<char>(e.phase), pid, e.tid, e.t);
+  if (e.name != nullptr) {
+    os << ", \"name\": ";
+    write_json_string(os, e.name);
+  }
+  if (e.cat != nullptr) {
+    os << ", \"cat\": ";
+    write_json_string(os, e.cat);
+  }
+  if (e.phase == TraceEvent::Phase::kInstant) os << ", \"s\": \"t\"";
+  write_args(os, e.args);
+  os << "}";
+}
+
+void write_truncation_marker(std::ostream& os, bool& first, int pid, Seconds last_t,
+                             std::size_t dropped) {
+  write_event_prefix(os, first, 'i', pid, 0, last_t);
+  os << ", \"name\": \"trace-truncated\", \"cat\": \"obs\", \"s\": \"p\", "
+        "\"args\": {\"dropped\": "
+     << dropped << "}}";
+}
+
 }  // namespace
 
 TraceBuffer::TraceBuffer(std::size_t max_events) : max_events_(max_events) {
@@ -92,6 +115,11 @@ void TraceBuffer::counter(Seconds t, const char* name, double value) {
         {TraceArg{"value", value}, TraceArg{}, TraceArg{}}});
 }
 
+void TraceBuffer::drain(std::vector<TraceEvent>& out) {
+  out.insert(out.end(), events_.begin(), events_.end());
+  events_.clear();
+}
+
 void write_chrome_trace(std::ostream& os, const std::vector<TraceProcess>& processes) {
   os << "{\n  \"traceEvents\": [";
   bool first = true;
@@ -106,27 +134,49 @@ void write_chrome_trace(std::ostream& os, const std::vector<TraceProcess>& proce
     Seconds last_t = 0.0;
     for (const auto& e : buf->events()) {
       last_t = e.t;
-      write_event_prefix(os, first, static_cast<char>(e.phase), pid, e.tid, e.t);
-      if (e.name != nullptr) {
-        os << ", \"name\": ";
-        write_json_string(os, e.name);
-      }
-      if (e.cat != nullptr) {
-        os << ", \"cat\": ";
-        write_json_string(os, e.cat);
-      }
-      if (e.phase == TraceEvent::Phase::kInstant) os << ", \"s\": \"t\"";
-      write_args(os, e.args);
-      os << "}";
+      write_one_event(os, first, pid, e);
     }
     if (buf->dropped() > 0) {
-      write_event_prefix(os, first, 'i', pid, 0, last_t);
-      os << ", \"name\": \"trace-truncated\", \"cat\": \"obs\", \"s\": \"p\", "
-            "\"args\": {\"dropped\": "
-         << buf->dropped() << "}}";
+      write_truncation_marker(os, first, pid, last_t, buf->dropped());
     }
   }
   os << (first ? "]" : "\n  ]") << ",\n  \"displayTimeUnit\": \"ms\"\n}\n";
+}
+
+StreamingTraceWriter::StreamingTraceWriter(std::ostream& os, TraceBuffer& buffer,
+                                           std::string process_label)
+    : os_(os), buffer_(buffer) {
+  os_ << "{\n  \"traceEvents\": [";
+  write_metadata(os_, first_, "process_name", /*pid=*/1, 0, process_label);
+}
+
+StreamingTraceWriter::~StreamingTraceWriter() { finish(); }
+
+void StreamingTraceWriter::flush() {
+  if (finished_) return;
+  // Track labels may appear at any point (a resumed session re-labels its
+  // lanes); emit whichever are new before their events reference them.
+  for (const auto& [tid, name] : buffer_.thread_names()) {
+    if (named_tracks_.insert(tid).second) {
+      write_metadata(os_, first_, "thread_name", /*pid=*/1, tid, name);
+    }
+  }
+  scratch_.clear();
+  buffer_.drain(scratch_);
+  for (const auto& e : scratch_) {
+    last_t_ = e.t;
+    write_one_event(os_, first_, /*pid=*/1, e);
+  }
+}
+
+void StreamingTraceWriter::finish() {
+  if (finished_) return;
+  flush();
+  if (buffer_.dropped() > 0) {
+    write_truncation_marker(os_, first_, /*pid=*/1, last_t_, buffer_.dropped());
+  }
+  finished_ = true;
+  os_ << (first_ ? "]" : "\n  ]") << ",\n  \"displayTimeUnit\": \"ms\"\n}\n";
 }
 
 }  // namespace eadt::obs

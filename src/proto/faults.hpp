@@ -141,11 +141,21 @@ class FaultHost {
 };
 
 /// Replays a FaultPlan onto a FaultHost via the simulation event queue.
-/// Construct once per run, then arm() before the first tick; the injector
-/// must outlive the simulation run.
+/// Construct once per run, then arm() before the first tick. Plan event
+/// times are attempt-local; `origin` shifts them onto the simulation clock,
+/// so a session admitted mid-timeline on a shared simulation
+/// (exp::Scheduler) still sees the plan relative to its own start. The
+/// default origin of 0 is the owned-simulation case and adds exactly
+/// nothing. The destructor cancels every still-pending plan event, so a
+/// session can be destroyed (preempted, completed) while the shared
+/// simulation keeps running — its fault callbacks must not outlive it.
 class FaultInjector {
  public:
-  FaultInjector(sim::Simulation& sim, const FaultPlan& plan, FaultHost& host);
+  FaultInjector(sim::Simulation& sim, const FaultPlan& plan, FaultHost& host,
+                Seconds origin = 0.0);
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
 
   /// Schedule every plan event (and the first stochastic arrival).
   void arm();
@@ -156,7 +166,10 @@ class FaultInjector {
   sim::Simulation& sim_;
   const FaultPlan& plan_;
   FaultHost& host_;
+  Seconds origin_ = 0.0;
   Rng arrival_rng_;
+  std::vector<sim::EventId> pending_;  ///< arm()'s one-shot plan events
+  sim::EventId stochastic_;            ///< the chain's single in-flight arrival
 };
 
 }  // namespace eadt::proto

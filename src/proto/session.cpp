@@ -47,13 +47,30 @@ struct TransferSession::ObsState {
   std::vector<char> lane_used;           // channel-lease track allocator
   std::vector<double> chunk_energy;      // per-chunk energy share, this leg
   bool transfer_span_open = false;
+  // Per-server power attribution: counter-track names (interned once) and
+  // the joule ledger as of the previous sample, so each sample publishes the
+  // window's average draw per server rather than the lifetime total.
+  std::vector<const char*> src_power_names, dst_power_names;
+  std::vector<double> src_joules_prev, dst_joules_prev;
 };
 
 TransferSession::~TransferSession() = default;
 
 TransferSession::TransferSession(const Environment& env, const Dataset& dataset,
                                  TransferPlan plan, SessionConfig config)
+    : TransferSession(nullptr, env, dataset, std::move(plan), config) {}
+
+TransferSession::TransferSession(sim::Simulation& sim, const Environment& env,
+                                 const Dataset& dataset, TransferPlan plan,
+                                 SessionConfig config)
+    : TransferSession(&sim, env, dataset, std::move(plan), config) {}
+
+TransferSession::TransferSession(sim::Simulation* external, const Environment& env,
+                                 const Dataset& dataset, TransferPlan plan,
+                                 SessionConfig config)
     : env_(env), plan_(std::move(plan)), config_(config),
+      owned_sim_(external != nullptr ? nullptr : std::make_unique<sim::Simulation>()),
+      sim_(external != nullptr ? *external : *owned_sim_),
       jitter_rng_(env.jitter_seed),
       dataset_fingerprint_(proto::dataset_fingerprint(dataset)) {
   queues_.resize(plan_.chunks.size());
@@ -112,7 +129,7 @@ TransferCheckpoint TransferSession::make_checkpoint() const {
   TransferCheckpoint c;
   // The run() guard can leave the event clock a fraction of a tick past the
   // deadline; clamp so resumed legs' time offsets chain consistently.
-  c.taken_at = time_offset_ + std::min(sim_.now(), config_.max_sim_time);
+  c.taken_at = time_offset_ + std::min(local_now(), config_.max_sim_time);
   c.dataset_fingerprint = dataset_fingerprint_;
   c.wire_bytes = bytes_moved_;
   c.end_system_energy = end_system_total_;
@@ -221,7 +238,7 @@ bool TransferSession::resume_from(const TransferCheckpoint& checkpoint,
   return true;
 }
 
-Seconds TransferSession::now() const noexcept { return sim_.now(); }
+Seconds TransferSession::now() const noexcept { return local_now(); }
 
 Bytes TransferSession::bytes_remaining() const noexcept {
   // Clamped: wire bytes include fault retransmissions, so under heavy waste
@@ -610,6 +627,18 @@ void TransferSession::obs_begin_run() {
           tb->intern("chunk " + std::to_string(c) + " (" + cls + ")"));
       st.lease_names.push_back(tb->intern(std::string("lease ") + cls));
     }
+    st.src_power_names.reserve(src_energy_.size());
+    st.src_joules_prev.reserve(src_energy_.size());
+    for (const auto& s : src_energy_) {
+      st.src_power_names.push_back(tb->intern("power.src." + s.name + "_w"));
+      st.src_joules_prev.push_back(s.joules);  // resumed legs: delta from here
+    }
+    st.dst_power_names.reserve(dst_energy_.size());
+    st.dst_joules_prev.reserve(dst_energy_.size());
+    for (const auto& s : dst_energy_) {
+      st.dst_power_names.push_back(tb->intern("power.dst." + s.name + "_w"));
+      st.dst_joules_prev.push_back(s.joules);
+    }
     tb->begin(abs_now(), obs::kControlTid, "transfer", "session",
               {"bytes", static_cast<double>(total_bytes_)},
               {"concurrency", static_cast<double>(target_concurrency_)});
@@ -696,11 +725,27 @@ void TransferSession::obs_tick(Joules tick_energy, Seconds dt) {
 void TransferSession::obs_sample(const SampleStats& s) {
   if (obs_ == nullptr || config_.obs->trace == nullptr) return;
   auto* tb = config_.obs->trace;
+  ObsState& st = *obs_;
   const Seconds d = s.duration();
   tb->counter(s.window_end, "goodput_mbps", d > 0.0 ? to_mbps(s.throughput()) : 0.0);
   tb->counter(s.window_end, "power_w", d > 0.0 ? s.end_system_energy / d : 0.0);
   tb->counter(s.window_end, "active_channels", static_cast<double>(s.active_channels));
   tb->counter(s.window_end, "down_channels", static_cast<double>(s.down_channels));
+  // Per-server attribution: one counter track per DTN, the window's average
+  // draw from that server's joule ledger. The session aggregate above is the
+  // sum of these tracks (plus nothing else), so a capacity question — which
+  // server carries the watts when channels pack vs spread — reads straight
+  // off the trace.
+  for (std::size_t i = 0; i < st.src_power_names.size(); ++i) {
+    const double delta = src_energy_[i].joules - st.src_joules_prev[i];
+    st.src_joules_prev[i] = src_energy_[i].joules;
+    tb->counter(s.window_end, st.src_power_names[i], d > 0.0 ? delta / d : 0.0);
+  }
+  for (std::size_t i = 0; i < st.dst_power_names.size(); ++i) {
+    const double delta = dst_energy_[i].joules - st.dst_joules_prev[i];
+    st.dst_joules_prev[i] = dst_energy_[i].joules;
+    tb->counter(s.window_end, st.dst_power_names[i], d > 0.0 ? delta / d : 0.0);
+  }
 }
 
 void TransferSession::obs_checkpoint_write() {
@@ -839,7 +884,7 @@ Seconds TransferSession::per_file_overhead(const Channel& ch, Bytes size,
   return overhead;
 }
 
-void TransferSession::allocate_rates() {
+void TransferSession::collect_link_demands() {
   const auto& path = env_.path;
   const BitsPerSecond window_cap = net::stream_window_cap(path);
 
@@ -934,23 +979,17 @@ void TransferSession::allocate_rates() {
     demands[i] = {caps[i], static_cast<double>(channels_[i].parallelism)};
     aggregate_demand += caps[i];
   }
+  agg_demand_ = aggregate_demand;
+  agg_streams_ = total_streams;
+}
 
-  // Brownouts scale the shared link; 1.0 outside any fault window.
-  const BitsPerSecond capacity = path.available_bandwidth() * path_factor_;
-  auto& link_alloc = scratch_.link_alloc;
-  net::fair_share_into(capacity, demands, link_alloc, scratch_.fair_share);
-  const double eff = net::congestion_efficiency(env_.congestion, aggregate_demand,
-                                                capacity, total_streams);
+std::span<const net::Demand> TransferSession::link_demands() const noexcept {
+  return scratch_.link_demands;
+}
 
-  // The allocation is an *average* rate (duty-weighted demand); while a
-  // channel is actually streaming it bursts above it — but the burst factor
-  // is capped so that even simultaneous bursts cannot exceed the link.
-  double total_avg = 0.0;
-  for (std::size_t i = 0; i < channels_.size(); ++i) {
-    total_avg += link_alloc[i] * eff;
-  }
-  const double burst_cap =
-      total_avg > 0.0 ? std::max(1.0, capacity / total_avg) : 1.0;
+void TransferSession::apply_link_allocation(std::span<const BitsPerSecond> alloc,
+                                            const double eff, const double burst_cap) {
+  const auto& duty = scratch_.duty;
   for (std::size_t i = 0; i < channels_.size(); ++i) {
     double jitter = 1.0;
     if (env_.rate_jitter_sd > 0.0) {
@@ -958,7 +997,7 @@ void TransferSession::allocate_rates() {
       jitter = std::max(0.1, 1.0 + jitter_rng_.normal(0.0, env_.rate_jitter_sd));
     }
     channels_[i].rate =
-        link_alloc[i] * eff * std::min(1.0 / duty[i], burst_cap) * jitter;
+        alloc[i] * eff * std::min(1.0 / duty[i], burst_cap) * jitter;
   }
 
   // NIC ceilings per server: proportional scale-down if the *average* load
@@ -984,6 +1023,28 @@ void TransferSession::allocate_rates() {
   };
   nic_scale(env_.source.servers, true);
   nic_scale(env_.destination.servers, false);
+}
+
+void TransferSession::allocate_rates() {
+  collect_link_demands();
+
+  // Brownouts scale the shared link; 1.0 outside any fault window.
+  const BitsPerSecond capacity = env_.path.available_bandwidth() * path_factor_;
+  auto& link_alloc = scratch_.link_alloc;
+  net::fair_share_into(capacity, scratch_.link_demands, link_alloc, scratch_.fair_share);
+  const double eff = net::congestion_efficiency(env_.congestion, agg_demand_,
+                                                capacity, agg_streams_);
+
+  // The allocation is an *average* rate (duty-weighted demand); while a
+  // channel is actually streaming it bursts above it — but the burst factor
+  // is capped so that even simultaneous bursts cannot exceed the link.
+  double total_avg = 0.0;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    total_avg += link_alloc[i] * eff;
+  }
+  const double burst_cap =
+      total_avg > 0.0 ? std::max(1.0, capacity / total_avg) : 1.0;
+  apply_link_allocation(link_alloc, eff, burst_cap);
 }
 
 void TransferSession::advance_channels(Seconds dt) {
@@ -1079,8 +1140,7 @@ bool TransferSession::finished() const {
                       [](const Channel& ch) { return ch.busy; });
 }
 
-bool TransferSession::tick() {
-  const Seconds dt = config_.tick;
+void TransferSession::tick_prepare() {
   if (faults_.active()) revive_channels();
 
   // Feed idle channels; if any chunk ran dry, rebalance and feed again.
@@ -1097,11 +1157,14 @@ bool TransferSession::tick() {
       if (!ch.busy && !ch.down) pop_next_file(ch);
     }
   }
+}
 
-  allocate_rates();
+bool TransferSession::advance_tick() {
+  const Seconds dt = config_.tick;
   advance_channels(dt);
   const Joules tick_energy = account_energy(dt);
   end_system_total_ += tick_energy;
+  last_tick_power_ = tick_energy / dt;
 
   if (checkpoint_sink_ && config_.checkpoint_interval > 0.0 &&
       sim_.now() - last_checkpoint_ >= config_.checkpoint_interval - 1e-9) {
@@ -1117,7 +1180,7 @@ bool TransferSession::tick() {
     // Absolute transfer time: an observer re-attached on a resumed leg sees
     // the clock continue where the interrupted run stopped, matching the
     // sample windows (regression-tested in test_obs.cpp).
-    trace.time = time_offset_ + sim_.now();
+    trace.time = abs_now();
     trace.end_system_power = tick_energy / dt;
     trace.open_channels = static_cast<int>(channels_.size());
     trace.path_capacity_factor = path_factor_;
@@ -1140,9 +1203,10 @@ bool TransferSession::tick() {
   if (t_end - window_start_ >= config_.sample_interval - 1e-9 || done) {
     SampleStats s;
     // Windows are reported in absolute transfer time: a resumed leg's first
-    // window starts where the interrupted run's checkpoint left off.
-    s.window_start = time_offset_ + window_start_;
-    s.window_end = time_offset_ + t_end;
+    // window starts where the interrupted run's checkpoint left off (and a
+    // shared-simulation tenant's where its own begin() fell).
+    s.window_start = time_offset_ + (window_start_ - start_time_);
+    s.window_end = time_offset_ + (t_end - start_time_);
     s.bytes = window_bytes_;
     s.end_system_energy = window_energy_;
     s.wasted_bytes = window_wasted_;
@@ -1164,13 +1228,21 @@ bool TransferSession::tick() {
   return !done;
 }
 
-RunResult TransferSession::run(Controller* controller) {
+bool TransferSession::tick() {
+  tick_prepare();
+  allocate_rates();
+  return advance_tick();
+}
+
+std::optional<std::string> TransferSession::begin(Controller* controller) {
   if (auto bad = faults_.validate()) {
-    RunResult refused;
-    refused.completed = false;
-    refused.error = "invalid FaultPlan: " + *bad;
-    return refused;
+    return "invalid FaultPlan: " + *bad;
   }
+  // The epoch: on an owned simulation this is 0.0 and every localisation
+  // below degenerates to the exact arithmetic of the single-session engine.
+  start_time_ = sim_.now();
+  window_start_ = sim_.now();
+  last_checkpoint_ = sim_.now();
   controller_ = controller;
   if (controller_ != nullptr) {
     if (const auto init = controller_->initial_concurrency(); init) {
@@ -1183,7 +1255,8 @@ RunResult TransferSession::run(Controller* controller) {
 
   if (faults_.active()) {
     injector_ = std::make_unique<FaultInjector>(sim_, faults_,
-                                                *static_cast<FaultHost*>(this));
+                                                *static_cast<FaultHost*>(this),
+                                                start_time_);
     injector_->arm();
   }
 
@@ -1193,6 +1266,16 @@ RunResult TransferSession::run(Controller* controller) {
   if (config_.sample_interval > 0.0) {
     const double windows = config_.max_sim_time / config_.sample_interval + 2.0;
     samples_.reserve(static_cast<std::size_t>(std::min(windows, 4096.0)));
+  }
+  return std::nullopt;
+}
+
+RunResult TransferSession::run(Controller* controller) {
+  if (auto bad = begin(controller)) {
+    RunResult refused;
+    refused.completed = false;
+    refused.error = std::move(*bad);
+    return refused;
   }
 
   Seconds finish_time = config_.max_sim_time;
@@ -1211,10 +1294,15 @@ RunResult TransferSession::run(Controller* controller) {
     return more;
   });
   sim_.run_until(config_.max_sim_time + config_.tick);
+  return finalize(completed, completed ? finish_time : config_.max_sim_time);
+}
 
-  // Down-since stamps are in this leg's local clock; close the books before
-  // adding the resume offset to the reported duration.
-  const Seconds local_end = completed ? finish_time : config_.max_sim_time;
+RunResult TransferSession::finalize(bool completed, Seconds end_raw) {
+  // Down-since stamps are in the raw simulation clock; close the books
+  // against it, then report durations relative to this session's epoch (plus
+  // any resume offset). For an owned simulation the epoch is 0 and end_raw
+  // is exactly the old local_end.
+  const Seconds local_end = end_raw - start_time_;
   RunResult res;
   res.duration = time_offset_ + local_end;
   res.bytes = bytes_moved_;
@@ -1223,18 +1311,18 @@ RunResult TransferSession::run(Controller* controller) {
   res.completed = completed;
   // Close the books on anything still down when the run ended.
   for (const auto& ch : channels_) {
-    if (ch.down && local_end > ch.down_since) {
-      fault_stats_.channel_downtime += local_end - ch.down_since;
+    if (ch.down && end_raw > ch.down_since) {
+      fault_stats_.channel_downtime += end_raw - ch.down_since;
     }
   }
   for (std::size_t s = 0; s < src_srv_up_.size(); ++s) {
-    if (src_srv_up_[s] == 0 && local_end > src_srv_down_since_[s]) {
-      fault_stats_.server_downtime += local_end - src_srv_down_since_[s];
+    if (src_srv_up_[s] == 0 && end_raw > src_srv_down_since_[s]) {
+      fault_stats_.server_downtime += end_raw - src_srv_down_since_[s];
     }
   }
   for (std::size_t s = 0; s < dst_srv_up_.size(); ++s) {
-    if (dst_srv_up_[s] == 0 && local_end > dst_srv_down_since_[s]) {
-      fault_stats_.server_downtime += local_end - dst_srv_down_since_[s];
+    if (dst_srv_up_[s] == 0 && end_raw > dst_srv_down_since_[s]) {
+      fault_stats_.server_downtime += end_raw - dst_srv_down_since_[s];
     }
   }
   res.faults = fault_stats_;

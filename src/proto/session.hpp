@@ -24,6 +24,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -111,6 +112,13 @@ class TransferSession : private FaultHost {
  public:
   TransferSession(const Environment& env, const Dataset& dataset, TransferPlan plan,
                   SessionConfig config = {});
+  /// Multi-tenant form: run on an external, possibly shared Simulation
+  /// instead of an owned one. The session records the clock at begin() as its
+  /// epoch, so a tenant admitted mid-timeline still reports attempt-local
+  /// times. The simulation must outlive the session. With a fresh simulation
+  /// this is behaviourally identical to the owning constructor.
+  TransferSession(sim::Simulation& sim, const Environment& env, const Dataset& dataset,
+                  TransferPlan plan, SessionConfig config = {});
   ~TransferSession();  // out of line: ObsState is incomplete here
 
   /// Install a failure workload; call before run(). A default-constructed
@@ -120,6 +128,48 @@ class TransferSession : private FaultHost {
 
   /// Run to completion (or the time guard). Controller may be null.
   [[nodiscard]] RunResult run(Controller* controller = nullptr);
+
+  // --- shared-simulation phase API (multi-tenant; MODEL.md §13) ----------
+  // exp::Scheduler drives several sessions on one Simulation by calling
+  // these phases each master tick; link arbitration is lifted out of the
+  // session so all tenants contend in one net::fair_share round. run() is
+  // exactly begin + {tick_prepare, allocate_rates, advance_tick} per tick +
+  // finalize, so the single-session path shares every line of this code.
+
+  /// Start the session on its simulation: validates the fault plan, records
+  /// the current clock as the session epoch, opens observability, builds the
+  /// initial channel set, and arms the fault injector. Returns an error
+  /// message instead when the run refuses to start.
+  [[nodiscard]] std::optional<std::string> begin(Controller* controller = nullptr);
+  /// Tick phase 1: revive backed-off channels, feed idle ones, rebalance.
+  void tick_prepare();
+  /// Tick phase 2a: compute this session's per-channel demand caps (CPU,
+  /// windows, disk pools, duty cycles) and publish them as link demands.
+  void collect_link_demands();
+  [[nodiscard]] std::span<const net::Demand> link_demands() const noexcept;
+  /// Sum of this session's demand caps / parallel streams, inputs to the
+  /// shared congestion-efficiency model.
+  [[nodiscard]] double aggregate_demand() const noexcept { return agg_demand_; }
+  [[nodiscard]] int aggregate_streams() const noexcept { return agg_streams_; }
+  /// Tick phase 2b: turn an arbitration result (this session's slice of the
+  /// joint allocation, plus the shared efficiency and burst factors) into
+  /// per-channel rates. `alloc` must align with link_demands().
+  void apply_link_allocation(std::span<const BitsPerSecond> alloc, double eff,
+                             double burst_cap);
+  /// Tick phase 3: move bytes, account energy, emit checkpoints/samples.
+  /// Returns false once every queue is drained (the transfer is complete).
+  [[nodiscard]] bool advance_tick();
+  /// Close the books at raw simulation clock `end_raw` and build the result
+  /// (abort checkpoint included when `completed` is false). The session is
+  /// spent afterwards.
+  [[nodiscard]] RunResult finalize(bool completed, Seconds end_raw);
+  /// Current path brownout factor (1.0 outside any fault window). Under a
+  /// shared link, a brownout seen by any tenant is a property of the path.
+  [[nodiscard]] double path_factor() const noexcept { return path_factor_; }
+  /// End-system power drawn over the last advanced tick.
+  [[nodiscard]] Watts last_tick_power() const noexcept { return last_tick_power_; }
+  [[nodiscard]] Bytes dataset_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] const Environment& environment() const noexcept { return env_; }
 
   /// Attach a passive tick-level observer (may be null to detach). The
   /// observer must outlive run().
@@ -164,6 +214,9 @@ class TransferSession : private FaultHost {
   [[nodiscard]] obs::ObsSinks* observation() const noexcept { return config_.obs; }
 
  private:
+  TransferSession(sim::Simulation* external, const Environment& env,
+                  const Dataset& dataset, TransferPlan plan, SessionConfig config);
+
   struct QueueEntry {
     std::uint32_t file_id = 0;
     Bytes remaining = 0;
@@ -223,6 +276,9 @@ class TransferSession : private FaultHost {
                                           bool cold) const;
   bool pop_next_file(Channel& ch);          // false if the queue is empty
   void advance_channels(Seconds dt);
+  /// Single-session tick phase 2: collect demands, run the link fair-share
+  /// round locally, apply. The shared-simulation path replaces only the
+  /// middle (the arbitration) — the collect/apply halves are the same code.
   void allocate_rates();
   /// Returns the end-system energy accrued this tick.
   Joules account_energy(Seconds dt);
@@ -253,8 +309,12 @@ class TransferSession : private FaultHost {
   // Every obs_* call is a no-op unless run() found sinks in config_.obs and
   // built an ObsState; the steady-state tick cost without sinks is a single
   // null compare (pinned, like the rate pipeline, by the alloc-guard test).
+  /// This session's view of the clock: raw simulation time minus the epoch
+  /// recorded at begin() (zero when the session owns its simulation, so the
+  /// arithmetic is exact and the single-session path is byte-identical).
+  [[nodiscard]] Seconds local_now() const noexcept { return sim_.now() - start_time_; }
   /// Absolute transfer time: resumed legs continue the prior legs' clock.
-  [[nodiscard]] Seconds abs_now() const noexcept { return time_offset_ + sim_.now(); }
+  [[nodiscard]] Seconds abs_now() const noexcept { return time_offset_ + local_now(); }
   void obs_begin_run();
   void obs_tick(Joules tick_energy, Seconds dt);
   void obs_sample(const SampleStats& s);
@@ -273,8 +333,19 @@ class TransferSession : private FaultHost {
   std::optional<int> large_cap_;
   std::size_t rr_src_ = 0, rr_dst_ = 0;  // round-robin placement cursors
 
-  sim::Simulation sim_;
+  /// Owned unless the external-simulation constructor was used; declared
+  /// before the reference so initialization order is safe.
+  std::unique_ptr<sim::Simulation> owned_sim_;
+  sim::Simulation& sim_;
+  /// Raw simulation clock at begin(): the epoch of this session's local
+  /// timeline (always 0.0 for an owned simulation).
+  Seconds start_time_ = 0.0;
   RateScratch scratch_;
+  // Aggregates of the last collect_link_demands() pass, inputs to the
+  // (possibly shared) congestion model.
+  double agg_demand_ = 0.0;
+  int agg_streams_ = 0;
+  Watts last_tick_power_ = 0.0;
   struct ObsState;
   std::unique_ptr<ObsState> obs_;  ///< built by run() iff sinks are attached
   Rng jitter_rng_{1};  // reseeded from env.jitter_seed in the constructor

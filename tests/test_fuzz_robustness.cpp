@@ -1,0 +1,303 @@
+// Randomized fault-plan fuzz battery over the Supervisor and the Scheduler.
+//
+// Each case draws a job mix, a fault workload, and a policy from a seeded Rng
+// and asserts the invariants the robustness layer promises regardless of what
+// the draw produced:
+//   * completed jobs lose no acknowledged byte across any preempt/abort/resume
+//     chain (cumulative goodput == dataset bytes, exactly);
+//   * accounting is conservative: accepted == submitted - rejected and
+//     completed + failed == accepted, per class and in total;
+//   * the measured site power never exceeds the cap between ticks;
+//   * the same seed reproduces the same report bit for bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "exp/scheduler.hpp"
+#include "exp/service.hpp"
+#include "exp/supervisor.hpp"
+#include "util/rng.hpp"
+
+namespace eadt::exp {
+namespace {
+
+testbeds::Testbed tiny_xsede() {
+  auto t = testbeds::xsede();
+  t.recipe.total_bytes /= 64;
+  for (auto& band : t.recipe.bands) {
+    band.max_size = std::max(band.max_size / 64, band.min_size * 2);
+  }
+  return t;
+}
+
+proto::SessionConfig fast_cfg() {
+  proto::SessionConfig cfg;
+  cfg.sample_interval = 1.0;
+  return cfg;
+}
+
+proto::Dataset fuzz_dataset(Rng& rng) {
+  proto::Dataset ds;
+  const int files = static_cast<int>(rng.uniform_int(3, 10));
+  for (int i = 0; i < files; ++i) {
+    ds.files.push_back({static_cast<Bytes>(rng.uniform_int(20, 160)) * kMB});
+  }
+  return ds;
+}
+
+proto::FaultPlan fuzz_faults(Rng& rng) {
+  proto::FaultPlan plan;
+  plan.seed = rng.next_u64();
+  plan.stochastic.channel_drop_rate = rng.uniform(0.0, 0.02);
+  if (rng.uniform01() < 0.5) {
+    plan.stochastic.checksum_failure_prob = rng.uniform(0.0, 0.05);
+  }
+  const int drops = static_cast<int>(rng.uniform_int(0, 3));
+  for (int i = 0; i < drops; ++i) {
+    plan.channel_drops.push_back({rng.uniform(1.0, 60.0), -1});
+  }
+  if (rng.uniform01() < 0.5) {
+    // Non-overlapping brownout windows, as validate() requires.
+    Seconds at = rng.uniform(2.0, 10.0);
+    const int windows = static_cast<int>(rng.uniform_int(1, 2));
+    for (int i = 0; i < windows; ++i) {
+      const Seconds dur = rng.uniform(2.0, 15.0);
+      plan.brownouts.push_back({at, dur, rng.uniform(0.2, 0.8)});
+      at += dur + rng.uniform(1.0, 5.0);
+    }
+  }
+  if (rng.uniform01() < 0.3) {
+    plan.outages.push_back({rng.uniform01() < 0.5, 0, rng.uniform(2.0, 20.0),
+                            rng.uniform(1.0, 8.0)});
+  }
+  EXPECT_EQ(plan.validate(), std::nullopt);
+  return plan;
+}
+
+JobPolicy fuzz_policy(Rng& rng) {
+  switch (rng.uniform_int(0, 4)) {
+    case 0: return JobPolicy::kDeadline;
+    case 1: return JobPolicy::kGreen;
+    case 2: return JobPolicy::kBalanced;
+    case 3: return JobPolicy::kSla;
+    default: return JobPolicy::kEnergyBudget;
+  }
+}
+
+TransferJob fuzz_job(Rng& rng, int index) {
+  TransferJob job;
+  job.name = "fuzz-" + std::to_string(index);
+  job.dataset = fuzz_dataset(rng);
+  job.policy = fuzz_policy(rng);
+  job.sla_percent = rng.uniform(5.0, 40.0);
+  job.energy_budget = rng.uniform(5e4, 5e5);
+  job.max_channels = static_cast<int>(rng.uniform_int(2, 8));
+  return job;
+}
+
+/// The per-job invariants shared by both batteries.
+void check_outcome_invariants(const std::string& label, const TenantOutcome& out,
+                              Bytes dataset_bytes) {
+  SCOPED_TRACE(label + " job " + out.name);
+  if (out.rejected) {
+    EXPECT_EQ(out.attempts, 0);
+    EXPECT_EQ(out.result.bytes, 0u);
+    return;
+  }
+  if (out.result.completed) {
+    EXPECT_FALSE(out.failed);
+    // No acknowledged byte lost OR double-counted across preempt/abort/resume:
+    // cumulative goodput equals the dataset exactly.
+    EXPECT_EQ(out.result.goodput_bytes(), dataset_bytes);
+  }
+  // Every preemption must have produced a matching resume or ended in
+  // failure/horizon cleanup — a preempted job never vanishes silently.
+  const int resumes = out.recovery.count(RecoveryAction::kResume);
+  if (out.preemptions > 0 && !out.failed) {
+    EXPECT_GE(resumes, out.preemptions);
+  }
+  EXPECT_GE(out.attempts, out.result.completed ? 1 : 0);
+}
+
+struct FuzzRun {
+  SchedulerReport report;
+  std::vector<Bytes> dataset_bytes;  ///< per job, submission order
+};
+
+FuzzRun run_fuzz_schedule(std::uint64_t seed) {
+  Rng rng(seed);
+  const auto tb = tiny_xsede();
+
+  SchedulerPolicy policy;
+  policy.max_concurrent = static_cast<int>(rng.uniform_int(1, 4));
+  policy.max_queue_depth = static_cast<int>(rng.uniform_int(1, 6));
+  policy.supervision.attempt_deadline = rng.uniform(30.0, 400.0);
+  policy.supervision.max_attempts = static_cast<int>(rng.uniform_int(2, 5));
+  policy.supervision.degrade_after = 1;
+  policy.horizon = 24.0 * 3600;
+  if (rng.uniform01() < 0.5) {
+    policy.power_cap =
+        session_peak_power_bound(tb.env) * rng.uniform(1.0, 3.5);
+  }
+  if (rng.uniform01() < 0.5) {
+    policy.link_brownouts.push_back(
+        {rng.uniform(5.0, 60.0), rng.uniform(5.0, 60.0), rng.uniform(0.2, 0.7)});
+  }
+  const bool tariffed = rng.uniform01() < 0.4;
+  if (tariffed) policy.max_defer = 12.0 * 3600;
+
+  Scheduler scheduler(tb, gbps(7.0), policy, fast_cfg());
+  scheduler.set_fault_plan(fuzz_faults(rng));
+  if (tariffed) {
+    scheduler.set_tariff(power::Tariff::time_of_use(0.05, {{8.0, 20.0, 0.30}}),
+                         rng.uniform(0.0, 24.0) * 3600);
+  }
+
+  std::vector<SchedulerJob> jobs;
+  FuzzRun run;
+  const int n = static_cast<int>(rng.uniform_int(4, 10));
+  Seconds at = 0.0;
+  for (int i = 0; i < n; ++i) {
+    auto job = fuzz_job(rng, i);
+    run.dataset_bytes.push_back(job.dataset.total_bytes());
+    jobs.push_back({std::move(job), at});
+    at += rng.uniform(0.0, 30.0);
+  }
+  run.report = scheduler.run(std::move(jobs));
+  return run;
+}
+
+TEST(FuzzRobustness, SchedulerInvariantsHoldAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto run = run_fuzz_schedule(seed);
+    const auto& report = run.report;
+
+    // Accounting conservation, in total and per class.
+    EXPECT_TRUE(report.accounting_consistent());
+    EXPECT_EQ(static_cast<int>(report.jobs.size()), report.submitted);
+    for (const auto* cls :
+         {&report.interactive, &report.standard, &report.scavenger}) {
+      EXPECT_EQ(cls->completed + cls->failed, cls->submitted - cls->rejected);
+    }
+    EXPECT_EQ(report.interactive.submitted + report.standard.submitted +
+                  report.scavenger.submitted,
+              report.submitted);
+
+    // The cap is a hard invariant, not a target.
+    EXPECT_EQ(report.power_cap_violations, 0);
+    EXPECT_LE(report.peak_power, report.peak_power_bound + 1e-9);
+
+    ASSERT_EQ(report.jobs.size(), run.dataset_bytes.size());
+    int preemptions = 0;
+    int deferrals = 0;
+    for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+      const auto& out = report.jobs[i];
+      check_outcome_invariants("scheduler", out, run.dataset_bytes[i]);
+      preemptions += out.preemptions;
+      deferrals += out.deferrals;
+    }
+    EXPECT_EQ(report.preemptions, preemptions);
+    EXPECT_EQ(report.deferrals, deferrals);
+  }
+}
+
+TEST(FuzzRobustness, SchedulerGoodputMatchesDatasetsExactly) {
+  // A tighter variant of the invariant above: build the jobs outside the
+  // helper so the dataset sizes are known, then check byte conservation.
+  for (std::uint64_t seed = 21; seed <= 24; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+    const auto tb = tiny_xsede();
+    SchedulerPolicy policy;
+    policy.max_concurrent = 1;  // force queueing and preemption pressure
+    policy.max_queue_depth = 8;
+    policy.supervision.attempt_deadline = rng.uniform(60.0, 240.0);
+    policy.supervision.max_attempts = 5;
+    policy.horizon = 24.0 * 3600;
+
+    Scheduler scheduler(tb, gbps(7.0), policy, fast_cfg());
+    scheduler.set_fault_plan(fuzz_faults(rng));
+
+    std::vector<SchedulerJob> jobs;
+    std::vector<Bytes> sizes;
+    for (int i = 0; i < 5; ++i) {
+      auto job = fuzz_job(rng, i);
+      job.policy = (i % 2 == 0) ? JobPolicy::kGreen : JobPolicy::kDeadline;
+      sizes.push_back(job.dataset.total_bytes());
+      jobs.push_back({std::move(job), rng.uniform(0.0, 10.0)});
+    }
+    const auto report = scheduler.run(std::move(jobs));
+
+    ASSERT_EQ(report.jobs.size(), sizes.size());
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      check_outcome_invariants("conservation", report.jobs[i], sizes[i]);
+      if (report.jobs[i].result.completed) {
+        EXPECT_EQ(report.jobs[i].result.goodput_bytes(), sizes[i]);
+      }
+    }
+    EXPECT_TRUE(report.accounting_consistent());
+    EXPECT_EQ(report.power_cap_violations, 0);
+  }
+}
+
+TEST(FuzzRobustness, SameSeedIsBitReproducible) {
+  for (std::uint64_t seed : {3ull, 7ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto a = run_fuzz_schedule(seed).report;
+    const auto b = run_fuzz_schedule(seed).report;
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+    EXPECT_EQ(a.deferrals, b.deferrals);
+    EXPECT_EQ(a.total_bytes, b.total_bytes);
+    // Bitwise, not approximate: the whole pipeline is deterministic.
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.total_energy, b.total_energy);
+    EXPECT_EQ(a.peak_power, b.peak_power);
+    for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+      EXPECT_EQ(a.jobs[i].result.bytes, b.jobs[i].result.bytes);
+      EXPECT_EQ(a.jobs[i].result.duration, b.jobs[i].result.duration);
+      EXPECT_EQ(a.jobs[i].result.end_system_energy,
+                b.jobs[i].result.end_system_energy);
+      EXPECT_EQ(a.jobs[i].attempts, b.jobs[i].attempts);
+      EXPECT_EQ(a.jobs[i].recovery.events.size(), b.jobs[i].recovery.events.size());
+    }
+  }
+}
+
+TEST(FuzzRobustness, SupervisorInvariantsHoldAcrossSeeds) {
+  const auto tb = tiny_xsede();
+  for (std::uint64_t seed = 41; seed <= 46; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    Rng rng(seed);
+
+    SupervisorPolicy policy;
+    policy.attempt_deadline = rng.uniform(20.0, 200.0);
+    policy.max_attempts = static_cast<int>(rng.uniform_int(2, 6));
+    policy.degrade_after = static_cast<int>(rng.uniform_int(1, 2));
+
+    Supervisor supervisor(tb, gbps(7.0), fuzz_faults(rng), policy, fast_cfg());
+    const auto job = fuzz_job(rng, static_cast<int>(seed));
+    const auto outcome = supervisor.run(job);
+
+    EXPECT_LE(outcome.attempts, policy.max_attempts);
+    EXPECT_GE(outcome.attempts, 1);
+    if (!outcome.failed) {
+      EXPECT_TRUE(outcome.result.completed);
+      // Byte conservation across every checkpointed retry leg.
+      EXPECT_EQ(outcome.result.goodput_bytes(), job.dataset.total_bytes());
+    } else {
+      EXPECT_EQ(outcome.recovery.count(RecoveryAction::kGiveUp), 1);
+    }
+    // Every resume beyond the first attempt is audited.
+    EXPECT_EQ(outcome.recovery.count(RecoveryAction::kResume),
+              outcome.attempts - 1);
+  }
+}
+
+}  // namespace
+}  // namespace eadt::exp

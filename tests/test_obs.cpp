@@ -159,6 +159,103 @@ TEST(Trace, CapDropsNewSpansButKeepsEnds) {
   EXPECT_NE(os.str().find("trace-truncated"), std::string::npos);
 }
 
+// --- streaming trace writer ------------------------------------------------
+
+void record_demo_events(obs::TraceBuffer& buf, int base) {
+  buf.begin(base + 0.0, obs::kControlTid, "transfer", "session", {"bytes", 100.0});
+  buf.counter(base + 1.0, "goodput_mbps", 42.0 + base);
+  buf.instant(base + 1.5, obs::kControlTid, "checkpoint", "session");
+  buf.end(base + 2.0, obs::kControlTid);
+}
+
+TEST(Trace, StreamingMatchesOneShotByteForByte) {
+  obs::TraceBuffer oneshot;
+  oneshot.set_thread_name(obs::kControlTid, "control");
+  record_demo_events(oneshot, 0);
+  record_demo_events(oneshot, 10);
+  std::ostringstream expect;
+  obs::write_chrome_trace(expect, {{"task 0", &oneshot}});
+
+  // The same events through the incremental writer, flushed mid-stream (and
+  // once with nothing new to write, which must be a no-op).
+  obs::TraceBuffer streamed;
+  streamed.set_thread_name(obs::kControlTid, "control");
+  std::ostringstream got;
+  {
+    obs::StreamingTraceWriter writer(got, streamed, "task 0");
+    record_demo_events(streamed, 0);
+    writer.flush();
+    writer.flush();
+    record_demo_events(streamed, 10);
+  }  // destructor finishes the envelope
+  EXPECT_EQ(got.str(), expect.str());
+}
+
+TEST(Trace, DrainEmptiesTheBufferAndResetsTheCapacityCheck) {
+  obs::TraceBuffer buf(4);
+  for (int i = 0; i < 4; ++i) buf.instant(i, obs::kControlTid, "e", "c");
+  std::vector<obs::TraceEvent> out;
+  buf.drain(out);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_TRUE(buf.events().empty());
+  // Room again: the cap bounds what accumulates between drains, not a run.
+  buf.instant(9.0, obs::kControlTid, "later", "c");
+  EXPECT_EQ(buf.events().size(), 1u);
+  EXPECT_EQ(buf.dropped(), 0u);
+  // drain appends, keeping what was already collected.
+  buf.drain(out);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(Trace, RegularFlushingRecordsPastTheBufferCap) {
+  obs::TraceBuffer buf(8);
+  std::ostringstream os;
+  obs::StreamingTraceWriter writer(os, buf, "long run");
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 6; ++i) {
+      buf.instant(round * 10.0 + i, obs::kControlTid, "tick", "c");
+    }
+    writer.flush();
+  }
+  writer.finish();
+  const std::string json = os.str();
+  EXPECT_EQ(buf.dropped(), 0u);
+  EXPECT_EQ(json.find("trace-truncated"), std::string::npos);
+  // All 60 events (far past the cap of 8) made it out.
+  std::size_t ticks = 0;
+  for (std::size_t at = json.find("\"tick\""); at != std::string::npos;
+       at = json.find("\"tick\"", at + 1)) {
+    ++ticks;
+  }
+  EXPECT_EQ(ticks, 60u);
+}
+
+TEST(Trace, OverflowBetweenFlushesYieldsTheTruncationMarker) {
+  obs::TraceBuffer buf(2);
+  std::ostringstream os;
+  obs::StreamingTraceWriter writer(os, buf, "bursty");
+  for (int i = 0; i < 5; ++i) buf.instant(i, obs::kControlTid, "burst", "c");
+  writer.finish();
+  EXPECT_EQ(buf.dropped(), 3u);
+  EXPECT_NE(os.str().find("trace-truncated"), std::string::npos);
+  EXPECT_NE(os.str().find("\"dropped\": 3"), std::string::npos);
+}
+
+TEST(Trace, FinishIsIdempotentAndLateFlushesAreIgnored) {
+  obs::TraceBuffer buf;
+  std::ostringstream os;
+  obs::StreamingTraceWriter writer(os, buf, "t");
+  buf.instant(1.0, obs::kControlTid, "only", "c");
+  writer.finish();
+  const std::string closed = os.str();
+  buf.instant(2.0, obs::kControlTid, "late", "c");
+  writer.flush();   // after finish: must not corrupt the closed document
+  writer.finish();  // idempotent
+  EXPECT_EQ(os.str(), closed);
+  EXPECT_NE(closed.find("\"only\""), std::string::npos);
+  EXPECT_EQ(closed.find("\"late\""), std::string::npos);
+}
+
 // --- decision log ----------------------------------------------------------
 
 TEST(Decisions, JsonAndNarrative) {

@@ -1,0 +1,269 @@
+#include "exp/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exp/service.hpp"
+
+namespace eadt::exp {
+namespace {
+
+testbeds::Testbed tiny_xsede() {
+  auto t = testbeds::xsede();
+  t.recipe.total_bytes /= 64;
+  for (auto& band : t.recipe.bands) {
+    band.max_size = std::max(band.max_size / 64, band.min_size * 2);
+  }
+  return t;
+}
+
+proto::Dataset job_dataset(Bytes file, int count) {
+  proto::Dataset ds;
+  for (int i = 0; i < count; ++i) ds.files.push_back({file});
+  return ds;
+}
+
+proto::SessionConfig fast_cfg() {
+  proto::SessionConfig cfg;
+  cfg.sample_interval = 1.0;
+  return cfg;
+}
+
+int count_action(const TenantOutcome& out, RecoveryAction action) {
+  return out.recovery.count(action);
+}
+
+TEST(Scheduler, SlaClassMapping) {
+  EXPECT_EQ(sla_class_of(JobPolicy::kDeadline), SlaClass::kInteractive);
+  EXPECT_EQ(sla_class_of(JobPolicy::kSla), SlaClass::kInteractive);
+  EXPECT_EQ(sla_class_of(JobPolicy::kBalanced), SlaClass::kStandard);
+  EXPECT_EQ(sla_class_of(JobPolicy::kEnergyBudget), SlaClass::kStandard);
+  EXPECT_EQ(sla_class_of(JobPolicy::kGreen), SlaClass::kScavenger);
+  EXPECT_STREQ(to_string(SlaClass::kInteractive), "interactive");
+  EXPECT_STREQ(to_string(SlaClass::kStandard), "standard");
+  EXPECT_STREQ(to_string(SlaClass::kScavenger), "scavenger");
+}
+
+TEST(Scheduler, SingleTenantMatchesTheSequentialServiceBitForBit) {
+  const auto tb = tiny_xsede();
+  const auto ds = job_dataset(100 * kMB, 10);
+
+  // The sequential path: one job through the single-shot Supervisor.
+  TransferService service(tb, gbps(7.0), fast_cfg());
+  std::vector<TransferJob> seq_jobs;
+  seq_jobs.push_back({"solo", ds, JobPolicy::kBalanced, 0, 0, 6});
+  const auto seq = service.run_queue(seq_jobs).jobs[0];
+
+  // The same job as the only tenant of a Scheduler.
+  SchedulerPolicy policy;
+  Scheduler scheduler(tb, gbps(7.0), policy, fast_cfg());
+  std::vector<SchedulerJob> jobs;
+  jobs.push_back({{"solo", ds, JobPolicy::kBalanced, 0, 0, 6}, 0.0});
+  const auto report = scheduler.run(std::move(jobs));
+
+  ASSERT_EQ(report.jobs.size(), 1u);
+  const auto& out = report.jobs[0];
+  EXPECT_FALSE(out.failed);
+  EXPECT_TRUE(out.result.completed);
+  // Byte-identical engine outcome: the joint arbitration with one tenant
+  // degenerates to exactly the single-session tick pipeline.
+  EXPECT_EQ(out.result.bytes, seq.result.bytes);
+  EXPECT_DOUBLE_EQ(out.result.duration, seq.result.duration);
+  EXPECT_DOUBLE_EQ(out.result.end_system_energy, seq.result.end_system_energy);
+  EXPECT_DOUBLE_EQ(out.result.network_energy, seq.result.network_energy);
+  EXPECT_TRUE(report.accounting_consistent());
+  EXPECT_EQ(report.max_concurrent_observed, 1);
+}
+
+TEST(Scheduler, ConcurrentTenantsContendForTheSharedPath) {
+  const auto tb = tiny_xsede();
+  const auto ds = job_dataset(100 * kMB, 10);
+
+  SchedulerPolicy policy;
+  policy.max_concurrent = 2;
+  Scheduler solo(tb, gbps(7.0), policy, fast_cfg());
+  std::vector<SchedulerJob> one;
+  one.push_back({{"a", ds, JobPolicy::kBalanced, 0, 0, 6}, 0.0});
+  const auto solo_report = solo.run(std::move(one));
+
+  Scheduler pair(tb, gbps(7.0), policy, fast_cfg());
+  std::vector<SchedulerJob> two;
+  two.push_back({{"a", ds, JobPolicy::kBalanced, 0, 0, 6}, 0.0});
+  two.push_back({{"b", ds, JobPolicy::kBalanced, 0, 0, 6}, 0.0});
+  const auto pair_report = pair.run(std::move(two));
+
+  ASSERT_EQ(pair_report.jobs.size(), 2u);
+  EXPECT_EQ(pair_report.max_concurrent_observed, 2);
+  EXPECT_EQ(pair_report.completed, 2);
+  // Fair-shared link: each of the two takes longer than the uncontended run,
+  // and the pair's makespan is clearly below back-to-back execution (they
+  // genuinely overlapped rather than serializing).
+  const Seconds solo_t = solo_report.jobs[0].result.duration;
+  EXPECT_GT(pair_report.jobs[0].result.duration, solo_t * 1.2);
+  EXPECT_GT(pair_report.jobs[1].result.duration, solo_t * 1.2);
+  EXPECT_LT(pair_report.makespan, 2.0 * solo_t * 0.98);
+  EXPECT_TRUE(pair_report.accounting_consistent());
+}
+
+TEST(Scheduler, PowerCapGatesDispatchAndIsNeverExceeded) {
+  const auto tb = tiny_xsede();
+  const auto ds = job_dataset(100 * kMB, 8);
+  const Watts bound = session_peak_power_bound(tb.env);
+  ASSERT_GT(bound, 0.0);
+
+  SchedulerPolicy policy;
+  policy.max_concurrent = 4;
+  policy.power_cap = bound * 1.5;  // room for one session, not two
+  Scheduler scheduler(tb, gbps(7.0), policy, fast_cfg());
+  std::vector<SchedulerJob> jobs;
+  for (int i = 0; i < 3; ++i) {
+    jobs.push_back({{"j" + std::to_string(i), ds, JobPolicy::kBalanced, 0, 0, 4}, 0.0});
+  }
+  const auto report = scheduler.run(std::move(jobs));
+
+  EXPECT_EQ(report.completed, 3);
+  EXPECT_EQ(report.max_concurrent_observed, 1);
+  EXPECT_EQ(report.power_cap_violations, 0);
+  EXPECT_LE(report.peak_power, policy.power_cap);
+  EXPECT_LE(report.peak_power_bound, policy.power_cap);
+  EXPECT_TRUE(report.accounting_consistent());
+}
+
+TEST(Scheduler, ImpossiblePowerCapShedsInsteadOfWedging) {
+  const auto tb = tiny_xsede();
+  SchedulerPolicy policy;
+  policy.power_cap = 1.0;  // below any session's provable bound
+  Scheduler scheduler(tb, gbps(7.0), policy, fast_cfg());
+  std::vector<SchedulerJob> jobs;
+  jobs.push_back({{"doomed", job_dataset(50 * kMB, 4), JobPolicy::kBalanced, 0, 0, 4},
+                  0.0});
+  const auto report = scheduler.run(std::move(jobs));
+  EXPECT_EQ(report.rejected, 1);
+  EXPECT_EQ(report.completed, 0);
+  EXPECT_TRUE(report.jobs[0].rejected);
+  EXPECT_TRUE(report.accounting_consistent());
+}
+
+TEST(Scheduler, BoundedQueueShedsTheOverflowWithHonestAccounting) {
+  const auto tb = tiny_xsede();
+  const auto ds = job_dataset(100 * kMB, 8);
+  SchedulerPolicy policy;
+  policy.max_concurrent = 1;
+  policy.max_queue_depth = 1;
+  Scheduler scheduler(tb, gbps(7.0), policy, fast_cfg());
+  std::vector<SchedulerJob> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back({{"j" + std::to_string(i), ds, JobPolicy::kBalanced, 0, 0, 4}, 0.0});
+  }
+  const auto report = scheduler.run(std::move(jobs));
+
+  // One runs, one waits, two are shed at admission.
+  EXPECT_EQ(report.submitted, 4);
+  EXPECT_EQ(report.rejected, 2);
+  EXPECT_EQ(report.completed, 2);
+  EXPECT_TRUE(report.accounting_consistent());
+  int shed_records = 0;
+  for (const auto& out : report.jobs) {
+    if (out.rejected) {
+      EXPECT_EQ(out.attempts, 0);
+      EXPECT_EQ(count_action(out, RecoveryAction::kShed), 1);
+      ++shed_records;
+    }
+  }
+  EXPECT_EQ(shed_records, 2);
+}
+
+TEST(Scheduler, InteractiveArrivalPreemptsAScavengerWhichResumesAndLosesNothing) {
+  const auto tb = tiny_xsede();
+  const auto green_ds = job_dataset(100 * kMB, 12);
+  const auto urgent_ds = job_dataset(100 * kMB, 4);
+
+  SchedulerPolicy policy;
+  policy.max_concurrent = 1;  // the scavenger occupies the only slot
+  Scheduler scheduler(tb, gbps(7.0), policy, fast_cfg());
+  std::vector<SchedulerJob> jobs;
+  jobs.push_back({{"bg", green_ds, JobPolicy::kGreen, 0, 0, 4}, 0.0});
+  jobs.push_back({{"urgent", urgent_ds, JobPolicy::kDeadline, 0, 0, 4}, 0.5});
+  const auto report = scheduler.run(std::move(jobs));
+
+  ASSERT_EQ(report.jobs.size(), 2u);
+  const auto& bg = report.jobs[0];
+  const auto& urgent = report.jobs[1];
+  EXPECT_EQ(report.preemptions, 1);
+  EXPECT_EQ(bg.preemptions, 1);
+  EXPECT_EQ(count_action(bg, RecoveryAction::kPreempt), 1);
+  EXPECT_EQ(count_action(bg, RecoveryAction::kResume), 1);
+  EXPECT_GE(bg.attempts, 2);  // original leg + resumed leg
+
+  // Both completed, and no acknowledged byte was lost or re-paid: the
+  // scavenger's cumulative goodput equals its dataset exactly.
+  EXPECT_TRUE(bg.result.completed);
+  EXPECT_TRUE(urgent.result.completed);
+  EXPECT_EQ(bg.result.goodput_bytes(), green_ds.total_bytes());
+  EXPECT_EQ(urgent.result.goodput_bytes(), urgent_ds.total_bytes());
+  // The urgent job ran while the scavenger was parked: it finished before
+  // the scavenger did.
+  EXPECT_LT(urgent.finished_at, bg.finished_at);
+  EXPECT_TRUE(report.accounting_consistent());
+}
+
+TEST(Scheduler, TariffDefersScavengersIntoTheCheapBand) {
+  const auto tb = tiny_xsede();
+  SchedulerPolicy policy;
+  policy.max_defer = 24.0 * 3600;
+  Scheduler scheduler(tb, gbps(7.0), policy, fast_cfg());
+  // Peak band 8:00-20:00 at 6x the night price; the schedule starts at 10:00.
+  scheduler.set_tariff(power::Tariff::time_of_use(0.05, {{8.0, 20.0, 0.30}}),
+                       10.0 * 3600);
+  std::vector<SchedulerJob> jobs;
+  jobs.push_back({{"night", job_dataset(50 * kMB, 4), JobPolicy::kGreen, 0, 0, 4}, 0.0});
+  const auto report = scheduler.run(std::move(jobs));
+
+  ASSERT_EQ(report.jobs.size(), 1u);
+  const auto& out = report.jobs[0];
+  EXPECT_EQ(report.deferrals, 1);
+  EXPECT_EQ(count_action(out, RecoveryAction::kDefer), 1);
+  EXPECT_TRUE(out.result.completed);
+  // Deferred out of the peak band: it started at least ten simulated hours
+  // after submission (20:00 is the earliest cheap second).
+  EXPECT_GE(out.started_at, 10.0 * 3600);
+  EXPECT_GT(out.cost_usd, 0.0);
+  EXPECT_TRUE(report.accounting_consistent());
+}
+
+TEST(Scheduler, SiteBrownoutSlowsEveryTenant) {
+  const auto tb = tiny_xsede();
+  // Big files so the duration is bandwidth-bound — a capacity brownout can
+  // only stretch the part of the run that is actually waiting on the link.
+  const auto ds = job_dataset(500 * kMB, 8);
+  SchedulerPolicy calm;
+  Scheduler clean(tb, gbps(7.0), calm, fast_cfg());
+  std::vector<SchedulerJob> jobs;
+  jobs.push_back({{"a", ds, JobPolicy::kBalanced, 0, 0, 4}, 0.0});
+  const Seconds clean_t = clean.run(jobs).jobs[0].result.duration;
+
+  SchedulerPolicy stormy = calm;
+  stormy.link_brownouts.push_back({0.0, clean_t * 2.0, 0.25});
+  Scheduler storm(tb, gbps(7.0), stormy, fast_cfg());
+  const auto report = storm.run(jobs);
+  EXPECT_TRUE(report.jobs[0].result.completed);
+  EXPECT_GT(report.jobs[0].result.duration, clean_t * 1.5);
+}
+
+TEST(Scheduler, ServiceFacadeRunsConcurrentJobs) {
+  TransferService service(tiny_xsede(), gbps(7.0), fast_cfg());
+  SchedulerPolicy policy;
+  policy.max_concurrent = 2;
+  std::vector<SchedulerJob> jobs;
+  jobs.push_back({{"a", job_dataset(50 * kMB, 4), JobPolicy::kBalanced, 0, 0, 4}, 0.0});
+  jobs.push_back({{"b", job_dataset(50 * kMB, 4), JobPolicy::kGreen, 0, 0, 4}, 0.0});
+  const auto report = service.run_concurrent(std::move(jobs), policy);
+  EXPECT_EQ(report.completed, 2);
+  EXPECT_EQ(report.standard.completed, 1);
+  EXPECT_EQ(report.scavenger.completed, 1);
+  EXPECT_TRUE(report.accounting_consistent());
+}
+
+}  // namespace
+}  // namespace eadt::exp
