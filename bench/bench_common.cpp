@@ -193,6 +193,21 @@ void write_obs_outputs(const Options& opt, const obs::ObsCollector& collector) {
   }
 }
 
+void print_histogram_percentiles(const Options& opt, const obs::ObsCollector& collector) {
+  const auto metrics = collector.metrics().snapshot();
+  Table table({"histogram", "count", "p50", "p90", "p99"});
+  for (const auto& m : metrics) {
+    if (m.kind != obs::MetricSnapshot::Kind::kHistogram || m.count == 0) continue;
+    table.add_row({m.name, std::to_string(m.count),
+                   Table::num(obs::histogram_quantile(m, 0.50), 1),
+                   Table::num(obs::histogram_quantile(m, 0.90), 1),
+                   Table::num(obs::histogram_quantile(m, 0.99), 1)});
+  }
+  if (table.rows() == 0) return;
+  std::cout << "observed distributions (bucket-interpolated percentiles)\n";
+  emit(table, opt);
+}
+
 namespace {
 
 testbeds::Testbed scaled(testbeds::Testbed t, unsigned divisor) {
@@ -349,6 +364,7 @@ void run_concurrency_figure(const testbeds::Testbed& base, const Options& opt) {
   record.tasks = results;
   if (collector) {
     write_obs_outputs(opt, *collector);
+    print_histogram_percentiles(opt, *collector);
     record.metrics = collector->metrics().snapshot();
   }
   write_bench_record(opt, std::move(record));
@@ -420,6 +436,7 @@ void run_sla_figure(const testbeds::Testbed& base, int promc_level, const Option
   }
   if (collector) {
     write_obs_outputs(opt, *collector);
+    print_histogram_percentiles(opt, *collector);
     record.metrics = collector->metrics().snapshot();
   }
   write_bench_record(opt, std::move(record));

@@ -85,6 +85,13 @@ void write_bench_record(const Options& opt, exp::BenchRecord record);
 /// Write whichever of the three observability exports were requested.
 void write_obs_outputs(const Options& opt, const obs::ObsCollector& collector);
 
+/// Percentile table (p50/p90/p99) of the session histograms — tick power,
+/// per-class chunk energy, and anything else observed as a histogram — in the
+/// human-readable output, not just the JSON exports. Prints nothing when no
+/// histograms were recorded. Callers gate this on opt.observing(), which is
+/// what keeps the default (unobserved) figure output byte-identical.
+void print_histogram_percentiles(const Options& opt, const obs::ObsCollector& collector);
+
 /// Figures 2/3/4: throughput, energy and efficiency vs concurrency for the
 /// six algorithms, plus the brute-force reference sweep.
 void run_concurrency_figure(const testbeds::Testbed& base, const Options& opt);

@@ -42,7 +42,8 @@ void log_partition(obs::DecisionLog* log, const char* actor,
 }  // namespace
 
 proto::TransferPlan tuned_chunk_plan(const proto::Environment& env,
-                                     const proto::Dataset& dataset) {
+                                     const proto::Dataset& dataset,
+                                     obs::DecisionLog* log) {
   const Bytes bdp = env.bdp();
   proto::TransferPlan plan;
   plan.chunks = proto::merge_chunks(proto::partition_files(dataset, bdp));
@@ -52,6 +53,19 @@ proto::TransferPlan tuned_chunk_plan(const proto::Environment& env,
     plan.params[i].pipelining = pipelining_level(bdp, avg);
     plan.params[i].parallelism = parallelism_level(bdp, avg, env.path.tcp_buffer);
     plan.params[i].channels = 0;
+    if (log != nullptr) {
+      obs::Decision d;
+      d.kind = obs::DecisionKind::kPlanTune;
+      d.actor = "Tuner";
+      d.level = plan.params[i].pipelining;
+      d.chosen = plan.params[i].parallelism;
+      d.subject = strf("%s chunk tuned: pp=%d, p=%d", proto::to_string(plan.chunks[i].cls),
+                       plan.params[i].pipelining, plan.params[i].parallelism);
+      d.detail = strf("avg file %.1f MB vs BDP %.1f MB: pipelining ceil(BDP/avg), "
+                      "parallelism from BDP/buffer (tcp_buffer %.1f MB)",
+                      to_mb(avg), to_mb(bdp), to_mb(env.path.tcp_buffer));
+      log->record(std::move(d));
+    }
   }
   return plan;
 }
@@ -59,7 +73,7 @@ proto::TransferPlan tuned_chunk_plan(const proto::Environment& env,
 proto::TransferPlan plan_min_energy(const proto::Environment& env,
                                     const proto::Dataset& dataset, int max_channels,
                                     obs::DecisionLog* log) {
-  proto::TransferPlan plan = tuned_chunk_plan(env, dataset);
+  proto::TransferPlan plan = tuned_chunk_plan(env, dataset, log);
   log_partition(log, "MinE", plan);
   const Bytes bdp = env.bdp();
   int avail = std::max(1, max_channels);
@@ -91,7 +105,7 @@ proto::TransferPlan plan_min_energy(const proto::Environment& env,
 proto::TransferPlan plan_htee(const proto::Environment& env,
                               const proto::Dataset& dataset, int max_channels,
                               obs::DecisionLog* log) {
-  proto::TransferPlan plan = tuned_chunk_plan(env, dataset);
+  proto::TransferPlan plan = tuned_chunk_plan(env, dataset, log);
   log_partition(log, "HTEE", plan);
   const auto alloc =
       allocate_channels_by_weight(plan.chunks, std::max(1, max_channels),
@@ -181,7 +195,7 @@ void HteeController::on_sample(proto::TransferSession& session,
 proto::TransferPlan plan_slaee(const proto::Environment& env,
                                const proto::Dataset& dataset, int max_channels,
                                obs::DecisionLog* log) {
-  proto::TransferPlan plan = tuned_chunk_plan(env, dataset);
+  proto::TransferPlan plan = tuned_chunk_plan(env, dataset, log);
   log_partition(log, "SLAEE", plan);
   // Small chunks get channel priority (HTEE weights); the Large chunk's
   // one-channel restriction is enforced at runtime via the large-chunk cap so

@@ -31,8 +31,11 @@ namespace eadt::core {
 
 /// Chunk layout shared by every BDP-aware algorithm: partition by BDP, merge
 /// undersized chunks, compute tuned pipelining/parallelism per chunk.
+/// A non-null `log` records one kPlanTune decision per chunk explaining the
+/// pipelining/parallelism choice (the BDP-vs-file-size rule it came from).
 [[nodiscard]] proto::TransferPlan tuned_chunk_plan(const proto::Environment& env,
-                                                   const proto::Dataset& dataset);
+                                                   const proto::Dataset& dataset,
+                                                   obs::DecisionLog* log = nullptr);
 
 /// Algorithm 1. `max_channels` is the paper's maxChannel input. A non-null
 /// `log` records the partition and the Small->Large channel walk (MODEL.md

@@ -75,6 +75,7 @@ struct Scheduler::Tenant {
   Seconds attempt_started = 0.0;   ///< raw clock at the current leg's begin()
   Seconds attempt_deadline = 0.0;  ///< watchdog for the current leg (0 = none)
   int deadline_aborts = 0;  ///< watchdog aborts only; preemptions don't count
+  int path = 0;             ///< current PathSet placement (0 in single-path mode)
   enum class State { kPending, kQueued, kDeferred, kRunning, kDone } state = State::kPending;
   TenantOutcome out;
 };
@@ -157,8 +158,15 @@ void Scheduler::on_submit(Tenant& t) {
   for (const auto& other : tenants_) {
     waiting += other->state == Tenant::State::kDeferred ? 1 : 0;
   }
-  const bool over_cap =
-      policy_.power_cap > 0.0 && session_peak_ > policy_.power_cap;
+  bool over_cap = policy_.power_cap > 0.0 && session_peak_ > policy_.power_cap;
+  if (multipath()) {
+    // Shed only when no site could ever host one session under its cap.
+    over_cap = true;
+    for (int p = 0; p < static_cast<int>(path_session_peak_.size()); ++p) {
+      const Watts cap = path_cap(p);
+      if (cap <= 0.0 || path_session_peak_[p] <= cap) over_cap = false;
+    }
+  }
   if (waiting >= policy_.max_queue_depth || over_cap) {
     t.out.rejected = true;
     t.out.finished_at = sim_.now();
@@ -205,11 +213,55 @@ void Scheduler::enqueue(Tenant& t) {
 
 bool Scheduler::can_dispatch(const Tenant&) const {
   if (static_cast<int>(running_.size()) >= policy_.max_concurrent) return false;
+  if (multipath()) return pick_path() >= 0;
   if (policy_.power_cap > 0.0 &&
       running_peak_sum_ + session_peak_ > policy_.power_cap + 1e-9) {
     return false;
   }
   return true;
+}
+
+Watts Scheduler::path_cap(int p) const noexcept {
+  if (p >= 0 && p < static_cast<int>(policy_.path_power_caps.size()) &&
+      policy_.path_power_caps[p] > 0.0) {
+    return policy_.path_power_caps[p];
+  }
+  return policy_.power_cap;
+}
+
+int Scheduler::pick_path(bool allow_failed) const {
+  int best = -1;
+  double best_phi = 0.0;
+  for (int p = 0; p < static_cast<int>(path_envs_.size()); ++p) {
+    if (!allow_failed && health_->failed(p)) continue;
+    const Watts cap = path_cap(p);
+    if (cap > 0.0 && path_running_peak_[p] + path_session_peak_[p] > cap + 1e-9) {
+      continue;  // this site has no power headroom for one more session
+    }
+    if (policy_.power_cap > 0.0 &&
+        running_peak_sum_ + path_session_peak_[p] > policy_.power_cap + 1e-9) {
+      continue;  // the cross-site sum is capped too
+    }
+    const double phi = health_->phi(p);
+    if (best == -1 || phi < best_phi) {  // strict <: lowest index wins ties
+      best = p;
+      best_phi = phi;
+    }
+  }
+  return best;
+}
+
+int Scheduler::pick_path() const {
+  // Prefer healthy sites; when every path has failed health, a capped-but-alive
+  // placement still beats refusing service, so retry ignoring the verdict.
+  const int p = pick_path(/*allow_failed=*/false);
+  return p >= 0 ? p : pick_path(/*allow_failed=*/true);
+}
+
+void Scheduler::release_capacity(const Tenant& t) {
+  const Watts peak = multipath() ? path_session_peak_[t.path] : session_peak_;
+  running_peak_sum_ -= peak;
+  if (multipath()) path_running_peak_[t.path] -= peak;
 }
 
 void Scheduler::try_dispatch() {
@@ -242,19 +294,42 @@ void Scheduler::try_dispatch() {
 void Scheduler::dispatch(Tenant& t) {
   const TransferJob& job = t.spec.job;
   obs::DecisionLog* decisions = t.sinks != nullptr ? t.sinks->decisions : nullptr;
+  if (multipath()) {
+    // Placement IS migration: every dispatch (first leg, resume after an
+    // abort, re-dispatch after a preemption) lands on the healthiest path
+    // with power headroom. A journal taken on a different path than the one
+    // chosen makes this leg a failover, never a plain retry — which is what
+    // keeps `migrations <= attempts` an invariant rather than a hope.
+    const int chosen = pick_path();
+    if (chosen >= 0) {
+      if (t.journal && t.journal->path_id != chosen) {
+        ++t.out.migrations;
+        ++report_.migrations;
+        record(t, RecoveryAction::kMigrate, sim_.now(),
+               "resuming on " + policy_.paths.option(chosen).name + " (phi " +
+                   std::to_string(health_->phi(chosen)) + ") instead of " +
+                   policy_.paths.option(t.journal->path_id).name + " (phi " +
+                   std::to_string(health_->phi(t.journal->path_id)) + ")");
+      }
+      t.path = chosen;
+    }
+    t.out.path = t.path;
+  }
+  const proto::Environment& env = multipath() ? path_envs_[t.path] : testbed_.env;
   OperatingPoint op = make_operating_point(
-      testbed_.env, job.dataset, t.ladder.policy, t.ladder.channels,
+      env, job.dataset, t.ladder.policy, t.ladder.channels,
       job.sla_percent, job.energy_budget, reference_rate_, decisions);
 
   proto::SessionConfig config = base_config_;
   config.obs = t.sinks;
+  config.path_id = t.path;
   if (policy_.supervision.attempt_deadline > 0.0) {
     config.max_sim_time = policy_.supervision.attempt_deadline;
   }
   t.session = std::make_unique<proto::TransferSession>(
-      sim_, testbed_.env, job.dataset, std::move(op.plan), config);
+      sim_, env, job.dataset, std::move(op.plan), config);
   t.controller = std::move(op.controller);
-  t.session->set_fault_plan(faults_);
+  t.session->set_fault_plan(multipath() ? faults_.for_path(t.path) : faults_);
   if (t.journal) {
     std::string err;
     if (!t.session->resume_from(*t.journal, &err)) {
@@ -272,7 +347,9 @@ void Scheduler::dispatch(Tenant& t) {
   if (t.out.attempts == 1) t.out.started_at = sim_.now();
   t.state = Tenant::State::kRunning;
   running_.push_back(&t);
-  running_peak_sum_ += session_peak_;
+  const Watts peak = multipath() ? path_session_peak_[t.path] : session_peak_;
+  running_peak_sum_ += peak;
+  if (multipath()) path_running_peak_[t.path] += peak;
   report_.peak_power_bound = std::max(report_.peak_power_bound, running_peak_sum_);
   report_.max_concurrent_observed =
       std::max(report_.max_concurrent_observed, static_cast<int>(running_.size()));
@@ -294,7 +371,7 @@ void Scheduler::preempt(Tenant& t) {
   t.session.reset();
   t.controller.reset();
   running_.erase(std::find(running_.begin(), running_.end(), &t));
-  running_peak_sum_ -= session_peak_;
+  release_capacity(t);
   ++t.out.preemptions;
   ++report_.preemptions;
   record(t, RecoveryAction::kPreempt, sim_.now(),
@@ -310,8 +387,13 @@ void Scheduler::abort_attempt(Tenant& t, Seconds end_raw) {
   t.session.reset();
   t.controller.reset();
   running_.erase(std::find(running_.begin(), running_.end(), &t));
-  running_peak_sum_ -= session_peak_;
+  release_capacity(t);
   ++t.deadline_aborts;
+  if (multipath()) {
+    // A watchdog abort is evidence against the path the leg ran on; the
+    // demerit decays with sim-time, so one flap does not exile a site.
+    health_->observe_fault(t.path, sim_.now());
+  }
   record(t, RecoveryAction::kDeadlineAbort, sim_.now(),
          "attempt hit its " + std::to_string(t.attempt_deadline) +
              " s deadline; checkpoint taken");
@@ -350,7 +432,7 @@ void Scheduler::complete(Tenant& t) {
   t.session.reset();
   t.controller.reset();
   running_.erase(std::find(running_.begin(), running_.end(), &t));
-  running_peak_sum_ -= session_peak_;
+  release_capacity(t);
   t.out.finished_at = sim_.now();
   ++report_.completed;
   if (t.spec.job.policy == JobPolicy::kSla) {
@@ -391,6 +473,9 @@ void Scheduler::retire(Tenant& t) {
     if (t.out.deferrals > 0) {
       m.counter(prefix + "deferrals").add(static_cast<std::uint64_t>(t.out.deferrals));
     }
+    if (t.out.migrations > 0) {
+      m.counter(prefix + "migrations").add(static_cast<std::uint64_t>(t.out.migrations));
+    }
     const char* fate = t.out.rejected ? "rejected" : t.out.failed ? "failed" : "completed";
     m.counter(prefix + fate).add(1);
   }
@@ -412,7 +497,9 @@ bool Scheduler::master_tick() {
     if (!overdue.empty()) try_dispatch();
   }
 
-  if (!running_.empty()) {
+  if (!running_.empty() && multipath()) {
+    master_tick_multipath();
+  } else if (!running_.empty()) {
     // Phase 1: per-session prepare + demand collection, in admission order.
     for (Tenant* t : running_) t->session->tick_prepare();
     for (Tenant* t : running_) t->session->collect_link_demands();
@@ -472,12 +559,132 @@ bool Scheduler::master_tick() {
   }
 
   try_dispatch();
+  // Incremental trace export: drain the streamed buffer every master tick so
+  // a week-long schedule never hits the buffer cap. Cheap when empty.
+  if (stream_ != nullptr) stream_->flush();
   return unfinished_ > 0;
+}
+
+void Scheduler::master_tick_multipath() {
+  // The multipath tick: each path is its own link, so each gets its own
+  // joint fair-share round over the tenants placed there. Phases 1 and 3
+  // still run over `running_` in admission order — only the arbitration in
+  // phase 2 is grouped — so a PathSet with one option reproduces the
+  // single-path tick exactly.
+  const int n = static_cast<int>(path_envs_.size());
+
+  // Phase 1: per-session prepare + demand collection, in admission order.
+  for (Tenant* t : running_) t->session->tick_prepare();
+  for (Tenant* t : running_) t->session->collect_link_demands();
+
+  // Phase 2: one fair-share round per path. -1 marks paths with no running
+  // tenants this tick: they carry no goodput signal (an idle path is not an
+  // unhealthy path) and are skipped by the health feed below.
+  path_capacity_.assign(n, -1.0);
+  std::vector<Tenant*> group;
+  for (int p = 0; p < n; ++p) {
+    group.clear();
+    for (Tenant* t : running_) {
+      if (t->path == p) group.push_back(t);
+    }
+    if (group.empty()) continue;
+    double min_path = group.front()->session->path_factor();
+    for (const Tenant* t : group) {
+      min_path = std::min(min_path, t->session->path_factor());
+    }
+    const BitsPerSecond capacity =
+        path_envs_[p].path.available_bandwidth() * path_link_factor_[p] * min_path;
+    path_capacity_[p] = capacity;
+
+    arbiter_.begin_round(capacity);
+    for (Tenant* t : group) arbiter_.submit(t->session->link_demands());
+    arbiter_.allocate();
+
+    double agg_demand = 0.0;
+    int agg_streams = 0;
+    for (const Tenant* t : group) {
+      agg_demand += t->session->aggregate_demand();
+      agg_streams += t->session->aggregate_streams();
+    }
+    const double eff = net::congestion_efficiency(path_envs_[p].congestion,
+                                                  agg_demand, capacity, agg_streams);
+    double total_avg = 0.0;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      for (const BitsPerSecond a : arbiter_.slice(i)) total_avg += a * eff;
+    }
+    const double burst_cap =
+        total_avg > 0.0 ? std::max(1.0, capacity / total_avg) : 1.0;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      group[i]->session->apply_link_allocation(arbiter_.slice(i), eff, burst_cap);
+    }
+  }
+
+  // Phase 3: advance every session; close the power books globally AND per
+  // site, and feed the health monitor each path's achieved-vs-offered
+  // goodput for the slice.
+  std::vector<Tenant*> finished;
+  Watts measured = 0.0;
+  std::vector<Watts> path_measured(n, 0.0);
+  std::vector<double> path_bytes(n, 0.0);
+  for (Tenant* t : running_) {
+    const bool more = t->session->advance_tick();
+    measured += t->session->last_tick_power();
+    path_measured[t->path] += t->session->last_tick_power();
+    path_bytes[t->path] += static_cast<double>(t->session->last_tick_bytes());
+    if (!more) finished.push_back(t);
+  }
+  report_.peak_power = std::max(report_.peak_power, measured);
+  if (policy_.power_cap > 0.0 && measured > policy_.power_cap * (1.0 + 1e-9)) {
+    ++report_.power_cap_violations;
+  }
+  for (int p = 0; p < n; ++p) {
+    const Watts cap = path_cap(p);
+    if (cap > 0.0 && path_measured[p] > cap * (1.0 + 1e-9)) {
+      ++report_.power_cap_violations;
+    }
+  }
+  for (int p = 0; p < n; ++p) {
+    if (path_capacity_[p] < 0.0) continue;  // no tenants placed here this tick
+    // Scored against the path's *nominal* bandwidth, not the browned-out
+    // arbitration capacity: a brownout must read as lost goodput, otherwise
+    // a path delivering 10% of itself would look perfectly healthy.
+    const double expected =
+        path_envs_[p].path.available_bandwidth() * base_config_.tick / 8.0;
+    const double frac = expected > 0.0 ? path_bytes[p] / expected : 1.0;
+    health_->observe_goodput(p, sim_.now(), std::min(1.0, frac));
+  }
+  if (collector_ != nullptr) {
+    collector_->metrics().gauge("scheduler.peak_power_w").set_max(measured);
+    for (int p = 0; p < n; ++p) {
+      collector_->metrics()
+          .gauge("scheduler.path." + policy_.paths.option(p).name + ".phi")
+          .set_max(health_->phi(p));
+    }
+  }
+  if (sched_sinks_ != nullptr && sched_sinks_->trace != nullptr) {
+    for (int p = 0; p < n; ++p) {
+      sched_sinks_->trace->counter(sim_.now(), path_phi_track_[p], health_->phi(p));
+    }
+  }
+  for (Tenant* t : finished) complete(*t);
 }
 
 SchedulerReport Scheduler::run(std::vector<SchedulerJob> jobs) {
   report_ = {};
   session_peak_ = session_peak_power_bound(testbed_.env);
+  if (multipath()) {
+    const int n = static_cast<int>(policy_.paths.size());
+    path_envs_.clear();
+    path_envs_.reserve(n);  // stable from here on: sessions hold references
+    path_session_peak_.clear();
+    for (const auto& option : policy_.paths.options()) {
+      path_envs_.push_back(environment_for_path(testbed_.env, option));
+      path_session_peak_.push_back(session_peak_power_bound(path_envs_.back()));
+    }
+    path_running_peak_.assign(n, 0.0);
+    path_link_factor_.assign(n, 1.0);
+    health_ = std::make_unique<HealthMonitor>(n, policy_.health);
+  }
   tenants_.clear();
   tenants_.reserve(jobs.size());
   unfinished_ = static_cast<int>(jobs.size());
@@ -497,16 +704,49 @@ SchedulerReport Scheduler::run(std::vector<SchedulerJob> jobs) {
     }
     tenants_.push_back(std::move(t));
   }
+  if (multipath() && collector_ != nullptr) {
+    // Scheduler-level slot, placed after the per-tenant slots. Per-path phi
+    // counter tracks land here so a trace shows the health the placement
+    // decisions actually saw.
+    sched_sinks_ = collector_->slot(slot_base_ + tenants_.size(), "scheduler");
+    path_phi_track_.clear();
+    if (sched_sinks_->trace != nullptr) {
+      for (const auto& option : policy_.paths.options()) {
+        path_phi_track_.push_back(
+            sched_sinks_->trace->intern("path." + option.name + ".phi"));
+      }
+    }
+  }
 
   for (const auto& t : tenants_) {
     Tenant* tp = t.get();
     sim_.schedule_at(tp->spec.submit_at, [this, tp] { on_submit(*tp); });
   }
   for (const auto& b : policy_.link_brownouts) {
-    sim_.schedule_at(b.start, [this, f = b.capacity_factor] {
-      link_factor_ = std::max(0.0, f);
+    if (!multipath()) {
+      sim_.schedule_at(b.start, [this, f = b.capacity_factor] {
+        link_factor_ = std::max(0.0, f);
+      });
+      sim_.schedule_at(b.start + b.duration, [this] { link_factor_ = 1.0; });
+      continue;
+    }
+    // Multipath: a brownout hits its target path only (path -1 hits every
+    // site). Onset is also a health demerit — the monitor should suspect a
+    // browning path before a tick's goodput shortfall confirms it.
+    sim_.schedule_at(b.start, [this, b] {
+      const double f = std::max(0.0, b.capacity_factor);
+      for (int p = 0; p < static_cast<int>(path_link_factor_.size()); ++p) {
+        if (b.path != -1 && b.path != p) continue;
+        path_link_factor_[p] = f;
+        health_->observe_fault(p, sim_.now());
+      }
     });
-    sim_.schedule_at(b.start + b.duration, [this] { link_factor_ = 1.0; });
+    sim_.schedule_at(b.start + b.duration, [this, b] {
+      for (int p = 0; p < static_cast<int>(path_link_factor_.size()); ++p) {
+        if (b.path != -1 && b.path != p) continue;
+        path_link_factor_[p] = 1.0;
+      }
+    });
   }
   sim_.add_ticker(base_config_.tick, [this] { return master_tick(); });
   sim_.run_until(policy_.horizon + base_config_.tick);
@@ -520,7 +760,7 @@ SchedulerReport Scheduler::run(std::vector<SchedulerJob> jobs) {
         t.session.reset();
         t.controller.reset();
         running_.erase(std::find(running_.begin(), running_.end(), &t));
-        running_peak_sum_ -= session_peak_;
+        release_capacity(t);
         fail(t, "still running at the scheduler horizon");
         break;
       }
@@ -561,6 +801,7 @@ SchedulerReport Scheduler::run(std::vector<SchedulerJob> jobs) {
     }
     report_.jobs.push_back(std::move(t.out));
   }
+  if (stream_ != nullptr) stream_->finish();
   return report_;
 }
 

@@ -50,6 +50,7 @@
 
 namespace eadt::obs {
 class ObsCollector;
+class StreamingTraceWriter;
 }  // namespace eadt::obs
 
 namespace eadt::exp {
@@ -93,6 +94,22 @@ struct SchedulerPolicy {
   std::vector<proto::PathBrownoutEvent> link_brownouts;
   /// Hard stop for the whole schedule; jobs still running are failed.
   Seconds horizon = 7.0 * 24 * 3600;
+
+  // --- Path resilience (appended so positional initializers of the fields
+  // above keep compiling). An empty `paths` disables placement entirely: the
+  // scheduler is then bit-identical to its single-path self.
+  /// Alternate site routes (index 0 = primary). With paths, each tenant is
+  /// placed at dispatch on the healthiest path with power headroom, each path
+  /// runs its own joint fair-share round per master tick, and a tenant whose
+  /// journal was taken on a now-suspect path resumes on a better one
+  /// (counted as a migration, not a retry).
+  net::PathSet paths;
+  /// Health scoring for placement and migration.
+  HealthMonitorConfig health;
+  /// Per-path (per-site) power caps in watts, index-aligned with `paths`;
+  /// a missing or zero entry falls back to `power_cap`. When `power_cap` is
+  /// also set it additionally bounds the *sum* across all paths.
+  std::vector<Watts> path_power_caps;
 };
 
 /// Per-class aggregate accounting.
@@ -118,6 +135,8 @@ struct TenantOutcome {
   int attempts = 0;            ///< dispatched legs (resumes included)
   int preemptions = 0;
   int deferrals = 0;
+  int migrations = 0;          ///< re-dispatches onto a different path than the journal's
+  int path = 0;                ///< PathSet index of the final placement (0 = primary)
   /// Cumulative over all legs (a resumed session reports running totals).
   proto::RunResult result;
   RecoveryLog recovery;        ///< every scheduler/ladder decision, in order
@@ -137,6 +156,7 @@ struct SchedulerReport {
   int failed = 0;     ///< accepted jobs that never completed
   int preemptions = 0;
   int deferrals = 0;
+  int migrations = 0;  ///< cross-path resumes, counted apart from retries
   Seconds makespan = 0.0;
   Bytes total_bytes = 0;
   Joules total_energy = 0.0;
@@ -194,6 +214,14 @@ class Scheduler {
     slot_base_ = slot_base;
   }
 
+  /// Stream the trace incrementally: the writer's buffer is drained at the
+  /// end of every master tick and finish()ed when run() returns, so a
+  /// long-running schedule records indefinitely instead of hitting the
+  /// buffer cap at exit-time export. The writer (and its stream) must
+  /// outlive run(); null detaches. The streamed JSON is byte-identical to a
+  /// one-shot write_chrome_trace() of the same buffer.
+  void set_stream(obs::StreamingTraceWriter* stream) noexcept { stream_ = stream; }
+
   /// Run the whole schedule to quiescence (or the horizon). Deterministic;
   /// one call per Scheduler instance.
   [[nodiscard]] SchedulerReport run(std::vector<SchedulerJob> jobs);
@@ -218,6 +246,13 @@ class Scheduler {
   void decide(Tenant& t, obs::DecisionKind kind, std::string subject,
               std::string detail);
   [[nodiscard]] Seconds defer_delay(const Tenant& t) const;
+  [[nodiscard]] bool multipath() const noexcept { return !policy_.paths.empty(); }
+  [[nodiscard]] Watts path_cap(int p) const noexcept;
+  /// Healthiest path with power headroom for one more session, or -1.
+  [[nodiscard]] int pick_path() const;
+  [[nodiscard]] int pick_path(bool allow_failed) const;
+  void release_capacity(const Tenant& t);
+  void master_tick_multipath();
 
   const testbeds::Testbed& testbed_;
   BitsPerSecond reference_rate_ = 0.0;
@@ -228,6 +263,7 @@ class Scheduler {
   Seconds tariff_start_ = 0.0;
   obs::ObsCollector* collector_ = nullptr;
   std::size_t slot_base_ = 0;
+  obs::StreamingTraceWriter* stream_ = nullptr;
 
   // --- run() state -------------------------------------------------------
   sim::Simulation sim_;
@@ -235,11 +271,21 @@ class Scheduler {
   std::vector<std::unique_ptr<Tenant>> tenants_;
   std::vector<Tenant*> queue_;    ///< waiting, in priority order
   std::vector<Tenant*> running_;  ///< dispatch order (preemption scans back)
-  Watts running_peak_sum_ = 0.0;  ///< sum of running sessions' peak bounds
+  Watts running_peak_sum_ = 0.0;  ///< sum of running sessions' peak bounds (all paths)
   Watts session_peak_ = 0.0;      ///< per-session bound (one shared env)
   double link_factor_ = 1.0;      ///< site-level brownout factor
   int unfinished_ = 0;            ///< tenants not yet terminal
   SchedulerReport report_;
+
+  // --- multipath state (empty / unused in single-path mode) ---------------
+  std::vector<proto::Environment> path_envs_;  ///< stable: sessions hold refs
+  std::vector<Watts> path_session_peak_;       ///< per-path session bound
+  std::vector<Watts> path_running_peak_;       ///< per-path running peak sums
+  std::vector<double> path_link_factor_;       ///< per-path brownout factors
+  std::vector<BitsPerSecond> path_capacity_;   ///< this tick's offered capacity
+  std::vector<const char*> path_phi_track_;    ///< interned health-track names
+  std::unique_ptr<HealthMonitor> health_;
+  obs::ObsSinks* sched_sinks_ = nullptr;       ///< scheduler-level obs slot
 };
 
 }  // namespace eadt::exp

@@ -37,8 +37,10 @@ JobOutcome TransferService::run_job(const TransferJob& job) const {
   // Unsupervised services still run through the Supervisor with a single-shot
   // policy: one attempt, no watchdog. That path is behaviourally identical to
   // the legacy switch (same plans, same configs) but reports aborts honestly.
-  SupervisorPolicy policy =
-      supervisor_ ? *supervisor_ : SupervisorPolicy{0.0, 1, 1, 0.5, 1, false};
+  SupervisorPolicy single_shot;
+  single_shot.attempt_deadline = 0.0;
+  single_shot.max_attempts = 1;
+  SupervisorPolicy policy = supervisor_ ? *supervisor_ : single_shot;
   Supervisor supervisor(testbed_, reference_rate_, faults_, policy, config_);
   return supervisor.run(job);
 }
@@ -50,6 +52,7 @@ SchedulerReport TransferService::run_concurrent(std::vector<SchedulerJob> jobs,
   scheduler.set_fault_plan(faults_);
   if (tariff_) scheduler.set_tariff(*tariff_, queue_start_time_);
   scheduler.set_collector(collector);
+  scheduler.set_stream(stream_);
   return scheduler.run(std::move(jobs));
 }
 

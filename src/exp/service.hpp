@@ -26,6 +26,7 @@
 
 namespace eadt::obs {
 class ObsCollector;
+class StreamingTraceWriter;
 }  // namespace eadt::obs
 
 namespace eadt::exp {
@@ -59,6 +60,11 @@ struct JobOutcome {
   RecoveryLog recovery;      ///< every supervision decision, in order
   bool sla_met = true;       ///< kSla only (and only if completed); true otherwise
   double cost_usd = 0.0;     ///< 0 unless the service has a tariff
+  // Path resilience (all zero without a PathSet on the supervisor policy).
+  int migrations = 0;        ///< failovers to an alternate path (not retries)
+  int final_path = 0;        ///< PathSet index the job finished (or died) on
+  int hedge_legs = 0;        ///< tail legs raced for the deadline (0 or 2)
+  Joules hedge_energy = 0.0; ///< losing leg's double-spend up to cancellation
 
   [[nodiscard]] double throughput_mbps() const {
     return to_mbps(result.avg_throughput());
@@ -127,6 +133,11 @@ class TransferService {
   /// the service runs each job once and merely reports failures honestly.
   void set_supervisor(SupervisorPolicy policy) { supervisor_ = policy; }
 
+  /// Stream the concurrent scheduler's trace incrementally (drained every
+  /// master tick, finish()ed at run end) instead of one-shot at exit. The
+  /// writer must outlive run_concurrent(). See Scheduler::set_stream.
+  void set_stream(obs::StreamingTraceWriter* stream) noexcept { stream_ = stream; }
+
  private:
   [[nodiscard]] JobOutcome run_job(const TransferJob& job) const;
 
@@ -137,6 +148,7 @@ class TransferService {
   Seconds queue_start_time_ = 0.0;
   proto::FaultPlan faults_;
   std::optional<SupervisorPolicy> supervisor_;
+  obs::StreamingTraceWriter* stream_ = nullptr;
 };
 
 }  // namespace eadt::exp

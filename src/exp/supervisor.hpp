@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "exp/health.hpp"
+#include "net/path_set.hpp"
 #include "proto/checkpoint.hpp"
 #include "proto/faults.hpp"
 #include "proto/session.hpp"
@@ -53,6 +55,8 @@ enum class RecoveryAction {
   kPreempt,         ///< scheduler checkpointed a running job to free capacity
   kShed,            ///< admission control rejected the job outright
   kDefer,           ///< tariff-aware deferral moved the start off-peak
+  kMigrate,         ///< failover: resumed on a healthier alternate path
+  kHedge,           ///< deadline projection missed; tail ran on two paths at once
 };
 
 [[nodiscard]] const char* to_string(RecoveryAction action) noexcept;
@@ -111,7 +115,30 @@ struct SupervisorPolicy {
   int min_channels = 1;
   /// Allow the final rung: fall back to kGreen once channels bottom out.
   bool policy_fallback = true;
+
+  // --- Path resilience (appended so positional aggregate initializers of the
+  // pre-resilience fields keep compiling). An empty `paths` disables the
+  // whole layer: the supervisor is then bit-identical to its single-path
+  // self, including in what it feeds the checkpoint journal.
+  /// Alternate routes for this testbed's endpoint pair (index 0 = primary).
+  net::PathSet paths;
+  /// Health scoring for the failover decision (suspect/fail thresholds).
+  HealthMonitorConfig health;
+  /// Interactive finish deadline (absolute transfer seconds). When > 0,
+  /// `hedge` is set, and an abort's projected finish overshoots it, the
+  /// remaining tail is raced on the current path and the healthiest
+  /// alternate; the loser is cancelled at the winner's finish and its energy
+  /// reported as JobOutcome::hedge_energy.
+  Seconds job_deadline = 0.0;
+  bool hedge = false;
 };
+
+/// `base` re-bound to one PathSet option: same endpoints, datasets, and power
+/// models, but the option's link characteristics and device chain. The
+/// returned environment is what a failed-over session runs against — its BDP
+/// drives the re-planned channel allocation in make_operating_point.
+[[nodiscard]] proto::Environment environment_for_path(const proto::Environment& base,
+                                                      const net::PathOption& option);
 
 /// Degradation-ladder cursor: the stepping rule shared by the sequential
 /// Supervisor and the concurrent Scheduler. Holds a job's current operating
@@ -142,8 +169,8 @@ class Supervisor {
  private:
   [[nodiscard]] proto::RunResult attempt(
       const TransferJob& job, JobPolicy policy, int max_channels,
-      const proto::SessionConfig& config,
-      const proto::TransferCheckpoint* resume) const;
+      const proto::SessionConfig& config, const proto::TransferCheckpoint* resume,
+      const proto::Environment& env, int path_id) const;
 
   const testbeds::Testbed& testbed_;
   BitsPerSecond reference_rate_ = 0.0;

@@ -310,6 +310,25 @@ void write_bench_json(std::ostream& os, const BenchRecord& record) {
     }
     os << "  ]";
   }
+  if (!record.failover.empty()) {
+    os << ",\n  \"failover\": [\n";
+    for (std::size_t i = 0; i < record.failover.size(); ++i) {
+      const FailoverScenarioRecord& f = record.failover[i];
+      os << "    {\"name\":";
+      write_json_string(os, f.name);
+      os << ",\"jobs\":" << f.jobs << ",\"completed\":" << f.completed
+         << ",\"failed\":" << f.failed << ",\"attempts\":" << f.attempts
+         << ",\"migrations\":" << f.migrations
+         << ",\"hedge_legs\":" << f.hedge_legs
+         << ",\"power_cap_violations\":" << f.power_cap_violations
+         << ",\"makespan_s\":" << jnum(f.makespan_s) << ",\"bytes\":" << f.bytes
+         << ",\"energy_j\":" << jnum(f.energy_j)
+         << ",\"hedge_energy_j\":" << jnum(f.hedge_energy_j)
+         << ",\"wall_ms\":" << jnum(f.wall_ms) << "}";
+      os << (i + 1 < record.failover.size() ? ",\n" : "\n");
+    }
+    os << "  ]";
+  }
   if (!record.metrics.empty()) {
     os << ",\n  \"metrics\": ";
     obs::write_metrics_object(os, record.metrics, 2);

@@ -175,6 +175,26 @@ struct ServiceScenarioRecord {
   double wall_ms = 0.0;            ///< non-deterministic; stripped in CI diffs
 };
 
+/// One path-resilience scenario's deterministic outcome, as recorded by
+/// bench/robustness_failover: migration/hedging accounting on top of the
+/// byte/energy conservation every scenario asserts. Everything except
+/// `wall_ms` is bit-reproducible for a fixed scenario.
+struct FailoverScenarioRecord {
+  std::string name;  ///< scenario label, e.g. "path_outage"
+  int jobs = 0;                 ///< jobs run in the scenario
+  int completed = 0;
+  int failed = 0;
+  int attempts = 0;             ///< legs across all jobs (first runs included)
+  int migrations = 0;           ///< cross-path resumes; <= attempts always
+  int hedge_legs = 0;           ///< raced tail legs (0 or 2 per hedged job)
+  int power_cap_violations = 0; ///< must stay 0 under any per-site cap
+  double makespan_s = 0.0;
+  std::uint64_t bytes = 0;      ///< wire bytes landed across all legs
+  double energy_j = 0.0;
+  double hedge_energy_j = 0.0;  ///< losing legs' double-spend; >= 0 always
+  double wall_ms = 0.0;         ///< non-deterministic; stripped in CI diffs
+};
+
 /// One bench invocation's machine-readable perf record: the grid, each
 /// task's deterministic result payload and simulation counters, and the
 /// (non-deterministic) wall times. Serialized to BENCH_<name>.json by the
@@ -196,6 +216,9 @@ struct BenchRecord {
   /// Multi-tenant scheduler scenarios (service_multitenant only). Emitted
   /// only when non-empty, like `micro` — schema-additive.
   std::vector<ServiceScenarioRecord> service;
+  /// Path-resilience scenarios (robustness_failover only). Emitted only when
+  /// non-empty, like `micro` — schema-additive.
+  std::vector<FailoverScenarioRecord> failover;
 };
 
 /// The commit stamp recorded in BenchRecords: $EADT_COMMIT if set, else the

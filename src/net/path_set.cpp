@@ -1,0 +1,12 @@
+#include "net/path_set.hpp"
+
+namespace eadt::net {
+
+int PathSet::index_of(const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < options_.size(); ++i) {
+    if (options_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace eadt::net

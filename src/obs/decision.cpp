@@ -46,6 +46,11 @@ std::string_view to_string(DecisionKind kind) noexcept {
     case DecisionKind::kSchedulerDispatch: return "scheduler-dispatch";
     case DecisionKind::kSchedulerPreempt: return "scheduler-preempt";
     case DecisionKind::kSchedulerDone: return "scheduler-done";
+    case DecisionKind::kPlanTune: return "plan-tune";
+    case DecisionKind::kPathSuspect: return "path-suspect";
+    case DecisionKind::kPathFailover: return "path-failover";
+    case DecisionKind::kHedgeLaunch: return "hedge-launch";
+    case DecisionKind::kHedgeWin: return "hedge-win";
   }
   return "unknown";
 }

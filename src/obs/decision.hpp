@@ -43,6 +43,11 @@ enum class DecisionKind {
   kSchedulerDispatch,   ///< scheduler started (or resumed) a tenant session
   kSchedulerPreempt,    ///< scheduler checkpointed a job to free capacity
   kSchedulerDone,       ///< scheduler retired a tenant job (either way)
+  kPlanTune,            ///< planning-time tuner fixed a chunk's pipelining/parallelism
+  kPathSuspect,         ///< health monitor's phi crossed the suspicion threshold
+  kPathFailover,        ///< job migrated to the healthiest alternate path
+  kHedgeLaunch,         ///< deadline projection missed; tail hedged on a second path
+  kHedgeWin,            ///< one hedged leg finished; the loser was cancelled
 };
 
 [[nodiscard]] std::string_view to_string(DecisionKind kind) noexcept;

@@ -106,6 +106,30 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
   return out;
 }
 
+double histogram_quantile(const MetricSnapshot& h, double q) noexcept {
+  if (h.kind != MetricSnapshot::Kind::kHistogram || h.count == 0 || h.buckets.empty()) {
+    return 0.0;
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(h.count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    const std::uint64_t in_bucket = h.buckets[i];
+    if (in_bucket == 0) continue;
+    const double below = static_cast<double>(cum);
+    cum += in_bucket;
+    if (static_cast<double>(cum) < rank) continue;
+    // The overflow bucket has no upper edge; the last finite bound is the
+    // best (under-)estimate we can report without inventing a scale.
+    if (i >= h.bounds.size()) return h.bounds.empty() ? 0.0 : h.bounds.back();
+    const double lo = i == 0 ? 0.0 : h.bounds[i - 1];
+    const double hi = h.bounds[i];
+    const double frac = (rank - below) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return h.bounds.empty() ? 0.0 : h.bounds.back();
+}
+
 void write_metrics_object(std::ostream& os, const std::vector<MetricSnapshot>& metrics,
                           int base_indent, std::string_view schema) {
   const std::string outer = indent_of(base_indent);

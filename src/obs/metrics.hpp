@@ -125,6 +125,14 @@ class MetricsRegistry {
   std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
+/// Estimate the q-quantile (q in [0, 1]) of a histogram snapshot by linear
+/// interpolation within the bucket that crosses the target rank. The first
+/// bucket interpolates from 0 (edges are upper bounds); the overflow bucket
+/// has no upper edge, so its estimate clamps to the last finite bound.
+/// Returns 0 for empty histograms and non-histogram snapshots. Deterministic:
+/// pure arithmetic over the snapshot's integer bucket counts.
+[[nodiscard]] double histogram_quantile(const MetricSnapshot& h, double q) noexcept;
+
 /// Write the metrics object body shared by write_json and the BENCH record
 /// merge: `{"counters": {..}, "gauges": {..}, "histograms": {..}}`, indented
 /// by `indent` spaces per level starting at `base_indent`. With a non-empty

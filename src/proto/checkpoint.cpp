@@ -25,8 +25,15 @@ struct Parser {
   std::string line;
   std::istringstream fields;
   bool failed = false;
+  bool held = false;  ///< current `line` was peeked by accept() and not consumed
 
   bool next_line() {
+    if (held) {
+      held = false;
+      fields.clear();
+      fields.str(line);
+      return true;
+    }
     while (std::getline(is, line)) {
       ++line_no;
       if (!line.empty() && line[0] != '#') {
@@ -56,6 +63,21 @@ struct Parser {
     fields >> got;
     if (got != key) {
       fail(std::string("expected '") + key + "', got '" + got + "'");
+      return false;
+    }
+    return true;
+  }
+
+  /// Consume the next line iff its leading key matches; otherwise hold the
+  /// line for the following expect()/accept(). Lets readers skip optional
+  /// keys so old journals (which omit them) still parse.
+  bool accept(const char* key) {
+    if (failed) return false;
+    if (!next_line()) return false;
+    std::string got;
+    fields >> got;
+    if (got != key) {
+      held = true;
       return false;
     }
     return true;
@@ -167,8 +189,10 @@ std::uint64_t dataset_fingerprint(const Dataset& dataset) noexcept {
 void write_checkpoint(std::ostream& os, const TransferCheckpoint& ckpt) {
   os << "eadt-checkpoint " << TransferCheckpoint::kFormatVersion << '\n'
      << "taken_at " << fmt_double(ckpt.taken_at) << '\n'
-     << "dataset " << ckpt.dataset_fingerprint << '\n'
-     << "wire_bytes " << ckpt.wire_bytes << '\n'
+     << "dataset " << ckpt.dataset_fingerprint << '\n';
+  // Optional: omitted when 0 so single-path journals keep the v1 byte layout.
+  if (ckpt.path_id != 0) os << "path " << ckpt.path_id << '\n';
+  os << "wire_bytes " << ckpt.wire_bytes << '\n'
      << "end_system_energy " << fmt_double(ckpt.end_system_energy) << '\n'
      << "network_energy " << fmt_double(ckpt.network_energy) << '\n';
   const auto& f = ckpt.faults;
@@ -205,6 +229,7 @@ std::optional<TransferCheckpoint> read_checkpoint(std::istream& is, std::string*
   }
   if (p.expect("taken_at")) c.taken_at = p.read_double();
   if (p.expect("dataset")) c.dataset_fingerprint = p.read_u64();
+  if (p.accept("path")) c.path_id = static_cast<int>(p.read_i64());
   if (p.expect("wire_bytes")) c.wire_bytes = p.read_u64();
   if (p.expect("end_system_energy")) c.end_system_energy = p.read_double();
   if (p.expect("network_energy")) c.network_energy = p.read_double();

@@ -53,6 +53,12 @@ struct TransferCheckpoint {
   /// Fingerprint of the dataset (file count + sizes); resume_from refuses a
   /// checkpoint taken against different data.
   std::uint64_t dataset_fingerprint = 0;
+  /// Which PathSet entry the capturing leg ran on (0 = primary). Identity
+  /// only: resume_from does not check it, because cross-path resume between
+  /// the same endpoints is exactly what failover does. Serialized as an
+  /// optional `path` line, omitted when 0, so single-path journals are
+  /// byte-identical to format v1 readers and goldens.
+  int path_id = 0;
   Bytes wire_bytes = 0;  ///< wire bytes moved so far (retransmissions included)
   Joules end_system_energy = 0.0;
   Joules network_energy = 0.0;

@@ -24,6 +24,9 @@ std::optional<std::string> FaultPlan::validate() const {
   }
   // Brownout windows set an absolute path factor and their end events restore
   // 1.0, so overlap would silently clobber the earlier window's recovery.
+  // Windows on *different* paths never meet the same session (for_path keeps
+  // at most one target plus the untargeted ones), but an untargeted window
+  // (-1) coexists with every target, so it must not overlap any of them.
   std::vector<PathBrownoutEvent> sorted = brownouts;
   std::sort(sorted.begin(), sorted.end(),
             [](const PathBrownoutEvent& a, const PathBrownoutEvent& b) {
@@ -35,10 +38,15 @@ std::optional<std::string> FaultPlan::validate() const {
     if (sorted[i].capacity_factor < 0.0 || sorted[i].capacity_factor > 1.0) {
       return at_index("brownouts", i) + "capacity_factor outside [0, 1]";
     }
-    if (i > 0 && sorted[i].start < sorted[i - 1].start + sorted[i - 1].duration) {
-      return "brownouts: windows overlap (second starts at " +
-             std::to_string(sorted[i].start) + " s, inside the window ending at " +
-             std::to_string(sorted[i - 1].start + sorted[i - 1].duration) + " s)";
+    if (sorted[i].path < -1) return at_index("brownouts", i) + "path below -1";
+    for (std::size_t j = i; j-- > 0;) {
+      const bool same_session = sorted[i].path == sorted[j].path ||
+                                sorted[i].path == -1 || sorted[j].path == -1;
+      if (same_session && sorted[i].start < sorted[j].start + sorted[j].duration) {
+        return "brownouts: windows overlap (second starts at " +
+               std::to_string(sorted[i].start) + " s, inside the window ending at " +
+               std::to_string(sorted[j].start + sorted[j].duration) + " s)";
+      }
     }
   }
   if (stochastic.channel_drop_rate < 0.0) {
@@ -59,6 +67,14 @@ std::optional<std::string> FaultPlan::validate() const {
     return "retry.channel_retry_budget: negative budget";
   }
   return std::nullopt;
+}
+
+FaultPlan FaultPlan::for_path(int path_id) const {
+  FaultPlan out = *this;
+  std::erase_if(out.brownouts, [path_id](const PathBrownoutEvent& b) {
+    return b.path != -1 && b.path != path_id;
+  });
+  return out;
 }
 
 Seconds retry_backoff_delay(const RetryPolicy& retry, int failures, Rng& rng) {

@@ -49,11 +49,16 @@ struct ServerOutageEvent {
 };
 
 /// Path brownout: the shared link's capacity drops to `capacity_factor` of
-/// nominal for the window (windows should not overlap).
+/// nominal for the window (windows on the same path should not overlap).
 struct PathBrownoutEvent {
   Seconds start = 0.0;
   Seconds duration = 0.0;
   double capacity_factor = 0.5;
+  /// Which PathSet entry the brownout hits: -1 (default) hits whatever path
+  /// the session runs on — the single-path behaviour — while >= 0 targets one
+  /// alternate route, so a failover scenario can flap the primary and leave
+  /// the backup clean. Sessions filter with FaultPlan::for_path.
+  int path = -1;
 };
 
 /// Seeded-stochastic background failures.
@@ -106,6 +111,12 @@ struct FaultPlan {
   /// TransferSession::run() calls this before the first tick and refuses to
   /// start on a malformed plan (RunResult::error carries the reason).
   [[nodiscard]] std::optional<std::string> validate() const;
+
+  /// The plan as seen by a session running on PathSet entry `path_id`:
+  /// brownouts targeting a *different* path are dropped, everything else is
+  /// kept verbatim. With no targeted brownouts the result equals the input,
+  /// so single-path callers can pass their plan through unconditionally.
+  [[nodiscard]] FaultPlan for_path(int path_id) const;
 };
 
 /// The n-th consecutive failure's reconnect delay: exponential growth from

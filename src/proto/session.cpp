@@ -131,6 +131,7 @@ TransferCheckpoint TransferSession::make_checkpoint() const {
   // deadline; clamp so resumed legs' time offsets chain consistently.
   c.taken_at = time_offset_ + std::min(local_now(), config_.max_sim_time);
   c.dataset_fingerprint = dataset_fingerprint_;
+  c.path_id = config_.path_id;
   c.wire_bytes = bytes_moved_;
   c.end_system_energy = end_system_total_;
   c.network_energy = network_energy_;
@@ -1128,6 +1129,7 @@ Joules TransferSession::account_energy(Seconds dt) {
   account_side(env_.destination, dst_energy_, false);
 
   for (const auto& ch : channels_) tick_bytes += ch.moved_this_tick;
+  last_tick_bytes_ = tick_bytes;
   network_energy_ += power::route_transfer_energy(env_.route, tick_bytes, env_.path.mtu);
   return tick_energy;
 }

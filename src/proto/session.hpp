@@ -99,6 +99,10 @@ struct SessionConfig {
   /// Emit a TransferCheckpoint to the registered sink every this many
   /// simulated seconds (0 = only the final abort checkpoint).
   Seconds checkpoint_interval = 0.0;
+  /// Which net::PathSet entry this session's environment was built from.
+  /// Pure identity: stamped into every checkpoint so a resumed leg knows
+  /// which route the capturing leg ran on. 0 = primary / single-path.
+  int path_id = 0;
   /// Observability sinks (metrics / spans / decisions — MODEL.md §12). Null
   /// (the default) keeps the engine byte-identical and allocation-free: the
   /// only cost is one pointer compare at each guarded site. The sinks must
@@ -168,6 +172,8 @@ class TransferSession : private FaultHost {
   [[nodiscard]] double path_factor() const noexcept { return path_factor_; }
   /// End-system power drawn over the last advanced tick.
   [[nodiscard]] Watts last_tick_power() const noexcept { return last_tick_power_; }
+  /// Goodput bytes moved in the most recent tick (health-monitor feed).
+  [[nodiscard]] Bytes last_tick_bytes() const noexcept { return last_tick_bytes_; }
   [[nodiscard]] Bytes dataset_bytes() const noexcept { return total_bytes_; }
   [[nodiscard]] const Environment& environment() const noexcept { return env_; }
 
@@ -346,6 +352,7 @@ class TransferSession : private FaultHost {
   double agg_demand_ = 0.0;
   int agg_streams_ = 0;
   Watts last_tick_power_ = 0.0;
+  Bytes last_tick_bytes_ = 0;
   struct ObsState;
   std::unique_ptr<ObsState> obs_;  ///< built by run() iff sinks are attached
   Rng jitter_rng_{1};  // reseeded from env.jitter_seed in the constructor

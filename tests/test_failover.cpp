@@ -1,0 +1,357 @@
+// Path-resilience layer: checkpoint path identity, targeted fault filtering,
+// phi-accrual health scoring, and the supervisor/scheduler failover loops
+// (migration off a dead primary, hedged finish legs, per-site power caps).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/health.hpp"
+#include "exp/scheduler.hpp"
+#include "exp/service.hpp"
+#include "exp/supervisor.hpp"
+#include "net/path_set.hpp"
+#include "proto/checkpoint.hpp"
+#include "proto/faults.hpp"
+
+namespace eadt::exp {
+namespace {
+
+testbeds::Testbed small_xsede() {
+  auto t = testbeds::xsede();
+  t.recipe.total_bytes /= 64;
+  for (auto& band : t.recipe.bands) {
+    band.max_size = std::max(band.max_size / 64, band.min_size * 2);
+  }
+  return t;
+}
+
+proto::SessionConfig dense_cfg() {
+  proto::SessionConfig cfg;
+  cfg.sample_interval = 1.0;  // dense windows so the health monitor sees stalls
+  return cfg;
+}
+
+/// Primary = the testbed's own route; backup = a longer detour of the same
+/// trunk class with its own device chain and tariff zone.
+net::PathSet two_paths(const testbeds::Testbed& tb) {
+  net::PathSet paths;
+  paths.add({"primary", tb.env.path, tb.env.route, 0});
+  net::PathSpec alt = tb.env.path;
+  alt.rtt *= 1.5;
+  paths.add({"backup", alt, net::futuregrid_route(), 1});
+  return paths;
+}
+
+/// Duration of one clean unsupervised run of `job` — the unit the failover
+/// deadlines are expressed in.
+Seconds clean_duration(const testbeds::Testbed& tb, const TransferJob& job) {
+  Supervisor supervisor(tb, gbps(7.0), {}, SupervisorPolicy{}, dense_cfg());
+  const auto outcome = supervisor.run(job);
+  EXPECT_FALSE(outcome.failed);
+  return outcome.result.duration;
+}
+
+TransferJob deadline_job(const testbeds::Testbed& tb, const std::string& name) {
+  TransferJob job;
+  job.name = name;
+  job.dataset = tb.make_dataset();
+  job.policy = JobPolicy::kDeadline;
+  job.max_channels = 8;
+  return job;
+}
+
+// --- checkpoint path identity ----------------------------------------------
+
+TEST(FailoverCheckpoint, PathIdRoundTrips) {
+  proto::TransferCheckpoint ckpt;
+  ckpt.taken_at = 12.5;
+  ckpt.dataset_fingerprint = 77;
+  ckpt.path_id = 3;
+  std::stringstream ss;
+  proto::write_checkpoint(ss, ckpt);
+  std::string error;
+  const auto back = proto::read_checkpoint(ss, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->path_id, 3);
+  EXPECT_EQ(back->taken_at, 12.5);
+}
+
+TEST(FailoverCheckpoint, PrimaryPathLineIsOmitted) {
+  // Single-path journals must serialize exactly as they did before the path
+  // field existed, so existing goldens and readers are untouched.
+  proto::TransferCheckpoint ckpt;
+  ckpt.path_id = 0;
+  std::stringstream ss;
+  proto::write_checkpoint(ss, ckpt);
+  EXPECT_EQ(ss.str().find("\npath "), std::string::npos);
+
+  // And a journal written without the line parses back to the primary.
+  std::stringstream in(ss.str());
+  const auto back = proto::read_checkpoint(in);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->path_id, 0);
+}
+
+// --- targeted fault filtering ----------------------------------------------
+
+TEST(FailoverFaults, ForPathKeepsOwnAndUntargetedBrownouts) {
+  proto::FaultPlan plan;
+  plan.brownouts.push_back({1.0, 2.0, 0.5, /*path=*/-1});
+  plan.brownouts.push_back({5.0, 2.0, 0.1, /*path=*/0});
+  plan.brownouts.push_back({9.0, 2.0, 0.2, /*path=*/1});
+  plan.channel_drops.push_back({3.0, -1});
+
+  const auto p0 = plan.for_path(0);
+  ASSERT_EQ(p0.brownouts.size(), 2u);
+  EXPECT_EQ(p0.brownouts[0].path, -1);
+  EXPECT_EQ(p0.brownouts[1].path, 0);
+  EXPECT_EQ(p0.channel_drops.size(), 1u);  // non-brownouts pass through
+
+  const auto p1 = plan.for_path(1);
+  ASSERT_EQ(p1.brownouts.size(), 2u);
+  EXPECT_EQ(p1.brownouts[1].path, 1);
+
+  const auto p2 = plan.for_path(2);
+  ASSERT_EQ(p2.brownouts.size(), 1u);  // only the untargeted one remains
+}
+
+// --- health monitor ---------------------------------------------------------
+
+TEST(FailoverHealth, StartsOptimisticAndTieBreaksLowestIndex) {
+  HealthMonitor monitor(3);
+  for (int p = 0; p < 3; ++p) EXPECT_EQ(monitor.phi(p), 0.0);
+  EXPECT_EQ(monitor.healthiest(), 0);
+  EXPECT_EQ(monitor.healthiest(/*exclude=*/0), 1);
+}
+
+TEST(FailoverHealth, StalledGoodputCrossesSuspicionThenFailure) {
+  HealthMonitor monitor(2);
+  double last = 0.0;
+  bool suspected = false;
+  for (int w = 1; w <= 60; ++w) {
+    monitor.observe_goodput(0, static_cast<Seconds>(w), 0.0);
+    const double phi = monitor.phi(0);
+    EXPECT_GE(phi, last);  // monotone while the stall persists
+    last = phi;
+    if (monitor.suspect(0)) suspected = true;
+  }
+  EXPECT_TRUE(suspected);
+  EXPECT_TRUE(monitor.failed(0));
+  // The untouched path is unaffected and wins the failover pick.
+  EXPECT_EQ(monitor.phi(1), 0.0);
+  EXPECT_EQ(monitor.healthiest(/*exclude=*/0), 1);
+}
+
+TEST(FailoverHealth, RecoveredGoodputDrivesPhiBackDown) {
+  HealthMonitor monitor(1);
+  for (int w = 1; w <= 20; ++w) {
+    monitor.observe_goodput(0, static_cast<Seconds>(w), 0.0);
+  }
+  const double stalled = monitor.phi(0);
+  for (int w = 21; w <= 80; ++w) {
+    monitor.observe_goodput(0, static_cast<Seconds>(w), 1.0);
+  }
+  EXPECT_LT(monitor.phi(0), stalled);
+  EXPECT_FALSE(monitor.suspect(0));
+}
+
+TEST(FailoverHealth, FaultDemeritsDecayWithSimulatedTime) {
+  HealthMonitorConfig cfg;
+  cfg.fault_weight = 0.5;
+  cfg.fault_halflife = 30.0;
+  HealthMonitor monitor(1, cfg);
+  monitor.observe_fault(0, 0.0, /*weight=*/2.0);
+  const double fresh = monitor.phi(0);
+  EXPECT_NEAR(fresh, 1.0, 1e-9);  // 2.0 * fault_weight
+  // Advance simulated time with healthy goodput; one half-life halves the
+  // demerit term while the ewma term stays ~0.
+  monitor.observe_goodput(0, 30.0, 1.0);
+  EXPECT_NEAR(monitor.phi(0), 0.5, 0.05);
+  monitor.observe_goodput(0, 300.0, 1.0);
+  EXPECT_LT(monitor.phi(0), 0.01);
+}
+
+// --- environment re-binding -------------------------------------------------
+
+TEST(FailoverEnvironment, RebindsPathAndRouteOnly) {
+  const auto tb = small_xsede();
+  net::PathSpec alt = tb.env.path;
+  alt.rtt = 0.123;
+  const net::PathOption option{"detour", alt, net::didclab_route(), 2};
+  const auto env = environment_for_path(tb.env, option);
+  EXPECT_EQ(env.path.rtt, 0.123);
+  EXPECT_EQ(env.path.bandwidth, tb.env.path.bandwidth);
+  EXPECT_NE(env.name, tb.env.name);
+  // End systems are untouched: same endpoints, different wire between them.
+  EXPECT_EQ(env.source.servers.size(), tb.env.source.servers.size());
+  EXPECT_EQ(env.destination.servers.size(), tb.env.destination.servers.size());
+}
+
+// --- supervisor failover ----------------------------------------------------
+
+TEST(FailoverSupervisor, MigratesOffDeadPrimaryAndConservesBytes) {
+  const auto tb = small_xsede();
+  const auto job = deadline_job(tb, "outage");
+  const Seconds T = clean_duration(tb, job);
+  ASSERT_GT(T, 0.0);
+
+  SupervisorPolicy policy;
+  policy.attempt_deadline = 0.9 * T;
+  policy.max_attempts = 6;
+  policy.degrade_after = 4;
+  policy.paths = two_paths(tb);
+  policy.health.suspect_phi = 0.45;
+
+  proto::FaultPlan faults;
+  faults.brownouts.push_back({0.35 * T, 1e6, 0.0, /*path=*/0});
+
+  Supervisor supervisor(tb, gbps(7.0), faults, policy, dense_cfg());
+  const auto outcome = supervisor.run(job);
+
+  EXPECT_FALSE(outcome.failed);
+  EXPECT_TRUE(outcome.result.completed);
+  EXPECT_GE(outcome.migrations, 1);
+  EXPECT_LE(outcome.migrations, outcome.attempts);
+  EXPECT_EQ(outcome.final_path, 1);
+  EXPECT_EQ(outcome.recovery.count(RecoveryAction::kMigrate), outcome.migrations);
+  // Landed bytes are never re-paid and never lost across the failover.
+  EXPECT_EQ(outcome.result.goodput_bytes(), job.dataset.total_bytes());
+}
+
+TEST(FailoverSupervisor, EmptyPathSetNeverMigratesOrHedges) {
+  const auto tb = small_xsede();
+  const auto job = deadline_job(tb, "single");
+  const Seconds T = clean_duration(tb, job);
+
+  SupervisorPolicy policy;
+  policy.attempt_deadline = 0.5 * T;
+  policy.max_attempts = 6;
+  policy.job_deadline = 0.8 * T;  // inert without paths
+  policy.hedge = true;
+
+  Supervisor supervisor(tb, gbps(7.0), {}, policy, dense_cfg());
+  const auto outcome = supervisor.run(job);
+  EXPECT_FALSE(outcome.failed);
+  EXPECT_EQ(outcome.migrations, 0);
+  EXPECT_EQ(outcome.hedge_legs, 0);
+  EXPECT_EQ(outcome.hedge_energy, 0.0);
+  EXPECT_EQ(outcome.final_path, 0);
+}
+
+TEST(FailoverSupervisor, HedgesTailWhenDeadlineProjectionSlips) {
+  const auto tb = small_xsede();
+  const auto job = deadline_job(tb, "hedged");
+  const Seconds T = clean_duration(tb, job);
+
+  SupervisorPolicy policy;
+  policy.attempt_deadline = 0.6 * T;
+  policy.max_attempts = 6;
+  policy.degrade_after = 4;
+  policy.paths = two_paths(tb);
+  policy.job_deadline = 0.85 * T;
+  policy.hedge = true;
+
+  Supervisor supervisor(tb, gbps(7.0), {}, policy, dense_cfg());
+  const auto outcome = supervisor.run(job);
+
+  EXPECT_FALSE(outcome.failed);
+  EXPECT_EQ(outcome.hedge_legs, 2);  // exactly one race, two legs
+  EXPECT_GE(outcome.hedge_energy, 0.0);
+  EXPECT_EQ(outcome.recovery.count(RecoveryAction::kHedge), 1);
+  EXPECT_EQ(outcome.result.goodput_bytes(), job.dataset.total_bytes());
+}
+
+// --- scheduler failover -----------------------------------------------------
+
+TEST(FailoverScheduler, PartitionDrainsTenantsOntoSurvivingSite) {
+  const auto tb = small_xsede();
+  const auto probe = deadline_job(tb, "probe");
+  TransferJob balanced = probe;
+  balanced.policy = JobPolicy::kBalanced;
+  balanced.max_channels = 4;
+  const Seconds T = clean_duration(tb, balanced);
+
+  SchedulerPolicy policy;
+  policy.max_concurrent = 4;
+  policy.max_queue_depth = 8;
+  policy.paths = two_paths(tb);
+  const Watts peak = session_peak_power_bound(tb.env);
+  policy.path_power_caps = {peak * 2.5, peak * 2.5};
+  policy.supervision.attempt_deadline = 2.5 * T;
+  policy.supervision.max_attempts = 12;
+  policy.supervision.degrade_after = 3;
+  policy.horizon = 500.0 * T;
+  policy.link_brownouts.push_back({0.5 * T, 100.0 * T, 0.0, /*path=*/0});
+
+  std::vector<SchedulerJob> jobs;
+  std::vector<Bytes> sizes;
+  for (int i = 0; i < 4; ++i) {
+    auto tenant = tb;
+    tenant.dataset_seed = 7 + static_cast<std::uint64_t>(i);
+    TransferJob job;
+    job.name = "part" + std::to_string(i);
+    job.dataset = tenant.make_dataset();
+    job.policy = JobPolicy::kBalanced;
+    job.max_channels = 4;
+    sizes.push_back(job.dataset.total_bytes());
+    jobs.push_back({std::move(job), 0.1 * T * i});
+  }
+
+  Scheduler scheduler(tb, gbps(7.0), policy, dense_cfg());
+  const auto report = scheduler.run(std::move(jobs));
+
+  EXPECT_TRUE(report.accounting_consistent());
+  EXPECT_EQ(report.completed, report.accepted);
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_GE(report.migrations, 1);
+  EXPECT_EQ(report.power_cap_violations, 0);
+  int migrations = 0;
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const auto& out = report.jobs[i];
+    EXPECT_EQ(out.result.goodput_bytes(), sizes[i]);
+    EXPECT_LE(out.migrations, out.attempts);
+    migrations += out.migrations;
+    // Everyone finishes on the surviving site.
+    EXPECT_EQ(out.path, 1);
+  }
+  EXPECT_EQ(report.migrations, migrations);
+}
+
+TEST(FailoverScheduler, PerSiteCapsBoundConcurrencyPerPath) {
+  const auto tb = small_xsede();
+  SchedulerPolicy policy;
+  policy.max_concurrent = 8;
+  policy.max_queue_depth = 16;
+  policy.paths = two_paths(tb);
+  const Watts peak = session_peak_power_bound(tb.env);
+  // Each site has room for exactly one session; the pair bounds the whole
+  // schedule at two concurrent regardless of max_concurrent.
+  policy.path_power_caps = {peak * 1.2, peak * 1.2};
+  policy.horizon = 24.0 * 3600;
+
+  std::vector<SchedulerJob> jobs;
+  for (int i = 0; i < 5; ++i) {
+    auto tenant = tb;
+    tenant.dataset_seed = 31 + static_cast<std::uint64_t>(i);
+    TransferJob job;
+    job.name = "cap" + std::to_string(i);
+    job.dataset = tenant.make_dataset();
+    job.policy = JobPolicy::kBalanced;
+    job.max_channels = 4;
+    jobs.push_back({std::move(job), 2.0 * i});
+  }
+
+  Scheduler scheduler(tb, gbps(7.0), policy, dense_cfg());
+  const auto report = scheduler.run(std::move(jobs));
+
+  EXPECT_TRUE(report.accounting_consistent());
+  EXPECT_EQ(report.completed, report.accepted);
+  EXPECT_LE(report.max_concurrent_observed, 2);
+  EXPECT_EQ(report.power_cap_violations, 0);
+}
+
+}  // namespace
+}  // namespace eadt::exp

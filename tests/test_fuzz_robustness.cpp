@@ -18,6 +18,7 @@
 #include "exp/scheduler.hpp"
 #include "exp/service.hpp"
 #include "exp/supervisor.hpp"
+#include "net/path_set.hpp"
 #include "util/rng.hpp"
 
 namespace eadt::exp {
@@ -264,6 +265,116 @@ TEST(FuzzRobustness, SameSeedIsBitReproducible) {
       EXPECT_EQ(a.jobs[i].result.end_system_energy,
                 b.jobs[i].result.end_system_energy);
       EXPECT_EQ(a.jobs[i].attempts, b.jobs[i].attempts);
+      EXPECT_EQ(a.jobs[i].recovery.events.size(), b.jobs[i].recovery.events.size());
+    }
+  }
+}
+
+// --- failover battery -------------------------------------------------------
+// Random flap schedules over a multipath scheduler: alternate routes, per-site
+// power caps, and path-targeted brownout windows drawn from the seed. The
+// invariants must hold no matter where the storm lands or how often tenants
+// migrate.
+
+FuzzRun run_fuzz_failover(std::uint64_t seed) {
+  Rng rng(seed);
+  const auto tb = tiny_xsede();
+
+  SchedulerPolicy policy;
+  policy.max_concurrent = static_cast<int>(rng.uniform_int(2, 6));
+  policy.max_queue_depth = static_cast<int>(rng.uniform_int(2, 8));
+  policy.supervision.attempt_deadline = rng.uniform(20.0, 150.0);
+  policy.supervision.max_attempts = static_cast<int>(rng.uniform_int(3, 8));
+  policy.supervision.degrade_after = 1;
+  policy.horizon = 24.0 * 3600;
+
+  const int n_paths = static_cast<int>(rng.uniform_int(2, 3));
+  policy.paths.add({"p0", tb.env.path, tb.env.route, 0});
+  for (int p = 1; p < n_paths; ++p) {
+    net::PathSpec alt = tb.env.path;
+    alt.rtt *= rng.uniform(1.2, 2.0);
+    policy.paths.add({"p" + std::to_string(p), alt, net::futuregrid_route(), p});
+  }
+  const Watts peak = session_peak_power_bound(tb.env);
+  for (int p = 0; p < n_paths; ++p) {
+    policy.path_power_caps.push_back(peak * rng.uniform(1.2, 3.0));
+  }
+  if (rng.uniform01() < 0.5) policy.power_cap = peak * rng.uniform(2.0, 5.0);
+
+  // The flap schedule: per-path brownout windows, non-overlapping per path
+  // (windows of different paths may overlap freely — that is a real storm).
+  for (int p = 0; p < n_paths; ++p) {
+    Seconds at = rng.uniform(2.0, 30.0);
+    const int windows = static_cast<int>(rng.uniform_int(0, 3));
+    for (int w = 0; w < windows; ++w) {
+      const Seconds dur = rng.uniform(5.0, 40.0);
+      policy.link_brownouts.push_back({at, dur, rng.uniform(0.0, 0.5), p});
+      at += dur + rng.uniform(1.0, 10.0);
+    }
+  }
+
+  Scheduler scheduler(tb, gbps(7.0), policy, fast_cfg());
+  scheduler.set_fault_plan(fuzz_faults(rng));
+
+  std::vector<SchedulerJob> jobs;
+  FuzzRun run;
+  const int n = static_cast<int>(rng.uniform_int(4, 10));
+  Seconds at = 0.0;
+  for (int i = 0; i < n; ++i) {
+    auto job = fuzz_job(rng, i);
+    run.dataset_bytes.push_back(job.dataset.total_bytes());
+    jobs.push_back({std::move(job), at});
+    at += rng.uniform(0.0, 20.0);
+  }
+  run.report = scheduler.run(std::move(jobs));
+  return run;
+}
+
+TEST(FuzzRobustness, FailoverInvariantsHoldAcrossFlapSchedules) {
+  for (std::uint64_t seed = 61; seed <= 68; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto run = run_fuzz_failover(seed);
+    const auto& report = run.report;
+
+    EXPECT_TRUE(report.accounting_consistent());
+    // Per-site caps are hard invariants under any flap schedule.
+    EXPECT_EQ(report.power_cap_violations, 0);
+
+    ASSERT_EQ(report.jobs.size(), run.dataset_bytes.size());
+    int migrations = 0;
+    for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+      const auto& out = report.jobs[i];
+      check_outcome_invariants("failover", out, run.dataset_bytes[i]);
+      // A migration is a re-dispatch, so it can never outnumber attempts,
+      // and a placement index is always a real PathSet entry.
+      EXPECT_LE(out.migrations, out.attempts);
+      EXPECT_GE(out.migrations, 0);
+      EXPECT_GE(out.path, 0);
+      migrations += out.migrations;
+    }
+    EXPECT_EQ(report.migrations, migrations);
+  }
+}
+
+TEST(FuzzRobustness, FailoverSameSeedIsBitReproducible) {
+  for (std::uint64_t seed : {62ull, 66ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto a = run_fuzz_failover(seed).report;
+    const auto b = run_fuzz_failover(seed).report;
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.migrations, b.migrations);
+    EXPECT_EQ(a.total_bytes, b.total_bytes);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.total_energy, b.total_energy);
+    EXPECT_EQ(a.peak_power, b.peak_power);
+    for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+      EXPECT_EQ(a.jobs[i].result.bytes, b.jobs[i].result.bytes);
+      EXPECT_EQ(a.jobs[i].result.duration, b.jobs[i].result.duration);
+      EXPECT_EQ(a.jobs[i].result.end_system_energy,
+                b.jobs[i].result.end_system_energy);
+      EXPECT_EQ(a.jobs[i].migrations, b.jobs[i].migrations);
+      EXPECT_EQ(a.jobs[i].path, b.jobs[i].path);
       EXPECT_EQ(a.jobs[i].recovery.events.size(), b.jobs[i].recovery.events.size());
     }
   }

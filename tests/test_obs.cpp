@@ -398,12 +398,17 @@ TEST(SessionObs, MinEPlanDecisionsExplainPartitionAndChannelWalk) {
   const auto plan = core::plan_min_energy(env, ds, 6, &log);
   ASSERT_FALSE(plan.chunks.empty());
   ASSERT_FALSE(log.empty());
-  EXPECT_EQ(log.decisions().front().kind, obs::DecisionKind::kPlanPartition);
-  const auto walks =
-      std::count_if(log.decisions().begin(), log.decisions().end(), [](const auto& d) {
-        return d.kind == obs::DecisionKind::kPlanChannelWalk;
-      });
-  EXPECT_GE(walks, 1);
+  // The tuner explains each chunk's pipelining/parallelism pick first; the
+  // partition record then summarizes the chunking those picks belong to.
+  const auto count = [&](obs::DecisionKind kind) {
+    return std::count_if(log.decisions().begin(), log.decisions().end(),
+                         [&](const auto& d) { return d.kind == kind; });
+  };
+  EXPECT_EQ(log.decisions().front().kind, obs::DecisionKind::kPlanTune);
+  EXPECT_EQ(count(obs::DecisionKind::kPlanTune),
+            static_cast<std::ptrdiff_t>(plan.chunks.size()));
+  EXPECT_EQ(count(obs::DecisionKind::kPlanPartition), 1);
+  EXPECT_GE(count(obs::DecisionKind::kPlanChannelWalk), 1);
 }
 
 // --- observer edge cases ---------------------------------------------------
