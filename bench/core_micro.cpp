@@ -1,12 +1,15 @@
 // Core microbenchmark suite: the engine hot paths, self-timed, with the
 // event queue raced against the std::map implementation it replaced.
 //
-// Four series (BENCH_core.json, schema eadt-bench-v1, `micro` section):
+// Five series (BENCH_core.json, schema eadt-bench-v1, `micro` section):
 //   * event_queue_sched_fire_cancel — randomized schedule/fire/cancel churn
 //     on sim::Simulation vs the reference std::map queue (same op sequence;
 //     the speedup figure is the PR-over-PR perf gate);
 //   * ticker_churn — re-arm fast path: many concurrent tickers firing;
 //   * fair_share_rounds — net::fair_share_into with a warmed scratch;
+//   * fair_share_waterfill_dist — net::WaterfillSolver dist mode at 10^6
+//     flows (10^5 under --quick) vs the per-flow reference loop on the same
+//     round, bitwise-checked before timing (its speedup is a CI tripwire);
 //   * session_ticks — whole TransferSession steady-state ticks per second.
 //
 // Wall-clock numbers are the *non-deterministic* side of the schema: the ops
@@ -268,6 +271,129 @@ exp::MicroSample bench_fair_share(int calls) {
   return m;
 }
 
+/// Fair share at fleet scale: one arbiter-shaped round of `flows` flows in
+/// 96 duplicate-demand clusters forming a capping CASCADE — each cluster's
+/// cap/weight ratio sits just inside the next filling round's waterlevel
+/// window, so progressive filling retires exactly one cluster per round and
+/// pays rounds * survivors, the per-flow loop's real cost model under
+/// heterogeneous fleets. The waterfill solver takes the same round in dist
+/// form — 96 group entries — and is raced against the reference loop on the
+/// expansion. Before any timing, one solve is checked BITWISE against the
+/// reference (per-member rates and total); a mismatch is fatal, because the
+/// solver's whole contract is exact equivalence.
+exp::MicroSample bench_waterfill(std::uint64_t flows) {
+  Rng rng(0xFA17CAFEULL);
+  constexpr int kClusters = 96;
+  constexpr int kSurvivors = 4;  // left uncapped: the terminal waterlevel round
+  const std::uint64_t count = std::max<std::uint64_t>(flows / kClusters, 1);
+
+  std::vector<double> weights;
+  double w_active = 0.0;
+  for (int j = 0; j < kClusters; ++j) {
+    weights.push_back(static_cast<double>(rng.uniform_int(1, 8)));
+    weights.back() += rng.uniform(0.0, 0.5);  // no two clusters collapse
+    w_active += weights.back() * static_cast<double>(count);
+  }
+
+  // Walk the filling recurrence to place each cluster's ratio inside the
+  // (share_{j-1}, share_j] window: cluster j then caps in round j and no
+  // earlier. Windows are ~1e-4 wide relative — far above the solver's 1e-12
+  // certification band, far below anything that would merge rounds.
+  const BitsPerSecond capacity = 1e12;
+  std::vector<net::DemandGroup> groups;
+  double remaining = capacity;
+  double prev_share = 0.0;
+  for (int j = 0; j < kClusters - kSurvivors; ++j) {
+    const double share = remaining / w_active;  // round j's waterlevel
+    const double key = prev_share + 0.9 * (share - prev_share);
+    const double cap = key * weights[static_cast<std::size_t>(j)];
+    groups.push_back({cap, weights[static_cast<std::size_t>(j)], count});
+    remaining -= cap * static_cast<double>(count);
+    w_active -= weights[static_cast<std::size_t>(j)] * static_cast<double>(count);
+    prev_share = share;
+  }
+  for (int j = kClusters - kSurvivors; j < kClusters; ++j) {
+    // Survivors: ratio far above any waterlevel, so the final round splits
+    // what's left by weight — the convergence the acceptance check pins.
+    groups.push_back({prev_share * weights[static_cast<std::size_t>(j)] * 8.0,
+                      weights[static_cast<std::size_t>(j)], count});
+  }
+  const std::uint64_t members = count * static_cast<std::uint64_t>(kClusters);
+
+  std::vector<net::Demand> expanded;
+  expanded.reserve(members);
+  for (const auto& g : groups) {
+    expanded.insert(expanded.end(), static_cast<std::size_t>(g.count),
+                    net::Demand{g.cap, g.weight});
+  }
+
+  // Correctness gate, untimed: dist solve vs reference on the expansion.
+  net::WaterfillSolver solver;
+  net::FairShareScratch scratch;
+  std::vector<BitsPerSecond> group_rates;
+  std::vector<BitsPerSecond> ref_alloc;
+  const BitsPerSecond total = solver.solve_dist(capacity, groups, group_rates);
+  const BitsPerSecond ref_total =
+      net::fair_share_reference_into(capacity, expanded, ref_alloc, scratch);
+  if (total != ref_total) {
+    std::cerr << "FATAL: waterfill total diverged from reference ("
+              << total << " vs " << ref_total << ")\n";
+    std::exit(1);
+  }
+  std::size_t at = 0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (std::uint64_t k = 0; k < groups[g].count; ++k, ++at) {
+      if (group_rates[g] != ref_alloc[at]) {
+        std::cerr << "FATAL: waterfill rate diverged from reference at flow "
+                  << at << " (" << group_rates[g] << " vs " << ref_alloc[at]
+                  << ")\n";
+        std::exit(1);
+      }
+    }
+  }
+  // Convergence: oversubscribed, so the fill must place (essentially) the
+  // whole capacity.
+  if (!(total > 0.999999 * capacity && total < 1.000001 * capacity)) {
+    std::cerr << "FATAL: waterfill did not converge (placed " << total
+              << " of " << capacity << ")\n";
+    std::exit(1);
+  }
+
+  const bool quick = flows < 1000000;
+  const int dist_calls = quick ? 8 : 24;
+  const int ref_calls = quick ? 2 : 3;
+
+  double acc = 0.0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < dist_calls; ++i) {
+    // Nudge the capacity per call so the loop cannot be folded away.
+    acc += solver.solve_dist(capacity + static_cast<double>(i % 97), groups,
+                             group_rates);
+  }
+  const double dist_ms = ms_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < ref_calls; ++i) {
+    acc += net::fair_share_reference_into(capacity + static_cast<double>(i % 97),
+                                          expanded, ref_alloc, scratch);
+  }
+  const double ref_ms = ms_since(t0);
+  g_sink = acc;
+
+  // Both sides are rated in flow-allocations per second, so the speedup is
+  // the per-flow cost ratio even though the call counts differ.
+  exp::MicroSample m;
+  m.name = "fair_share_waterfill_dist";
+  m.ops = static_cast<std::uint64_t>(dist_calls) * members;
+  m.wall_ms = dist_ms;
+  m.ops_per_sec = dist_ms > 0.0 ? static_cast<double>(m.ops) * 1000.0 / dist_ms : 0.0;
+  const double ref_ops = static_cast<double>(ref_calls) * static_cast<double>(members);
+  m.baseline_ops_per_sec = ref_ms > 0.0 ? ref_ops * 1000.0 / ref_ms : 0.0;
+  m.speedup =
+      m.baseline_ops_per_sec > 0.0 ? m.ops_per_sec / m.baseline_ops_per_sec : 0.0;
+  return m;
+}
+
 exp::MicroSample bench_session_ticks(unsigned scale, obs::ObsSinks* sinks) {
   auto t = testbeds::didclab();
   t.recipe.total_bytes = std::max<Bytes>(t.recipe.total_bytes / scale, 64ULL << 20);
@@ -293,7 +419,7 @@ void print_sample(const exp::MicroSample& m) {
   std::cout << "  " << m.name << ": " << m.ops << " ops in " << m.wall_ms << " ms  ("
             << static_cast<std::uint64_t>(m.ops_per_sec) << " ops/s";
   if (m.baseline_ops_per_sec > 0.0) {
-    std::cout << ", std::map baseline " << static_cast<std::uint64_t>(m.baseline_ops_per_sec)
+    std::cout << ", reference baseline " << static_cast<std::uint64_t>(m.baseline_ops_per_sec)
               << " ops/s, speedup " << m.speedup << "x";
   }
   std::cout << ")\n";
@@ -319,6 +445,9 @@ int main(int argc, char** argv) {
   record.micro.push_back(bench_ticker_churn(64, static_cast<std::uint64_t>(40000 / div)));
   print_sample(record.micro.back());
   record.micro.push_back(bench_fair_share(200000 / div));
+  print_sample(record.micro.back());
+  record.micro.push_back(
+      bench_waterfill(static_cast<std::uint64_t>(1000000 / div)));
   print_sample(record.micro.back());
   record.micro.push_back(bench_session_ticks(
       opt.scale, collector ? collector->slot(0, "session_ticks") : nullptr));

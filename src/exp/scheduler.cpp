@@ -517,7 +517,13 @@ bool Scheduler::master_tick() {
 
     // Phase 2: ONE joint fair-share round over every tenant's demands.
     arbiter_.begin_round(capacity);
-    for (Tenant* t : running_) arbiter_.submit(t->session->link_demands());
+    // Grouped submission: each tenant's demand list is run-length collapsed,
+    // which the arbiter expands back verbatim — the joint round is bitwise
+    // the same as per-flow submit(), and fleets of same-shape tenants let
+    // the waterfill path solve at group cost.
+    for (Tenant* t : running_) {
+      arbiter_.submit_groups(t->session->link_demand_groups());
+    }
     arbiter_.allocate();
 
     double agg_demand = 0.0;
@@ -597,7 +603,9 @@ void Scheduler::master_tick_multipath() {
     path_capacity_[p] = capacity;
 
     arbiter_.begin_round(capacity);
-    for (Tenant* t : group) arbiter_.submit(t->session->link_demands());
+    for (Tenant* t : group) {
+      arbiter_.submit_groups(t->session->link_demand_groups());
+    }
     arbiter_.allocate();
 
     double agg_demand = 0.0;

@@ -4,9 +4,10 @@
 
 namespace eadt::net {
 
-BitsPerSecond fair_share_into(BitsPerSecond capacity, std::span<const Demand> demands,
-                              std::vector<BitsPerSecond>& allocation,
-                              FairShareScratch& scratch) {
+BitsPerSecond fair_share_reference_into(BitsPerSecond capacity,
+                                        std::span<const Demand> demands,
+                                        std::vector<BitsPerSecond>& allocation,
+                                        FairShareScratch& scratch) {
   allocation.assign(demands.size(), 0.0);
   if (demands.empty() || capacity <= 0.0) return 0.0;
 
@@ -56,6 +57,15 @@ BitsPerSecond fair_share_into(BitsPerSecond capacity, std::span<const Demand> de
   return std::accumulate(allocation.begin(), allocation.end(), 0.0);
 }
 
+BitsPerSecond fair_share_into(BitsPerSecond capacity, std::span<const Demand> demands,
+                              std::vector<BitsPerSecond>& allocation,
+                              FairShareScratch& scratch) {
+  if (demands.size() < kWaterfillThreshold) {
+    return fair_share_reference_into(capacity, demands, allocation, scratch);
+  }
+  return scratch.solver.solve(capacity, demands, allocation);
+}
+
 FairShareResult fair_share(BitsPerSecond capacity, std::span<const Demand> demands) {
   FairShareResult out;
   FairShareScratch scratch;
@@ -73,6 +83,18 @@ void LinkArbiter::begin_round(BitsPerSecond capacity) {
 std::size_t LinkArbiter::submit(std::span<const Demand> demands) {
   ranges_.push_back({demands_.size(), demands.size()});
   demands_.insert(demands_.end(), demands.begin(), demands.end());
+  return ranges_.size() - 1;
+}
+
+std::size_t LinkArbiter::submit_groups(std::span<const DemandGroup> groups) {
+  const std::size_t offset = demands_.size();
+  std::size_t members = 0;
+  for (const auto& g : groups) {
+    demands_.insert(demands_.end(), static_cast<std::size_t>(g.count),
+                    Demand{g.cap, g.weight});
+    members += static_cast<std::size_t>(g.count);
+  }
+  ranges_.push_back({offset, members});
   return ranges_.size() - 1;
 }
 

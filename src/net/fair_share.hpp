@@ -10,14 +10,13 @@
 #include <span>
 #include <vector>
 
+#include "net/waterfill.hpp"
 #include "util/units.hpp"
 
 namespace eadt::net {
 
-struct Demand {
-  BitsPerSecond cap = 0.0;  ///< most this channel could use
-  double weight = 1.0;      ///< share weight (parallel stream count)
-};
+// Demand and DemandGroup live in waterfill.hpp (the solver is the base
+// layer); this header re-exports them to the existing call sites.
 
 struct FairShareResult {
   std::vector<BitsPerSecond> allocation;  ///< per-demand rate, same order
@@ -26,21 +25,41 @@ struct FairShareResult {
 
 /// Reusable workspace for fair_share_into. The allocator runs every tick for
 /// every disk pool and the shared link; holding the round-robin active set
-/// here (capacity preserved across calls) makes steady-state allocation
-/// heap-free. A scratch is cheap state, not a cache: results are identical
-/// whether it is fresh or reused.
+/// (and, for large rounds, the waterfill solver's buffers) here — capacity
+/// preserved across calls — makes steady-state allocation heap-free. A
+/// scratch is cheap state, not a cache: results are identical whether it is
+/// fresh or reused.
 struct FairShareScratch {
   std::vector<std::size_t> active;
+  WaterfillSolver solver;
 };
+
+/// The pinned per-flow progressive-filling loop — the semantics every golden
+/// in the repo was recorded against, kept verbatim. fair_share_into routes
+/// small rounds here directly; WaterfillSolver is bitwise-equivalent to this
+/// on every input (enforced by tests/test_waterfill.cpp), and the core_micro
+/// bench races the solver against it at 10^5-10^6 flows.
+BitsPerSecond fair_share_reference_into(BitsPerSecond capacity,
+                                        std::span<const Demand> demands,
+                                        std::vector<BitsPerSecond>& allocation,
+                                        FairShareScratch& scratch);
 
 /// Weighted max-min fair allocation of `capacity` across `demands`, written
 /// into `allocation` (resized to demands.size(); previous contents ignored).
-/// Returns the total. Bitwise-identical to fair_share() — same operations in
-/// the same order — but allocation-free once `allocation` and `scratch` have
-/// warmed to capacity.
+/// Returns the total. Bitwise-identical to fair_share() — same values out,
+/// whatever the path — and allocation-free once `allocation` and `scratch`
+/// have warmed to capacity. Small rounds run the reference loop; rounds of
+/// kWaterfillThreshold or more demands run the ratio-sorted waterfill solver
+/// (bitwise-identical by contract, and far cheaper when demands repeat).
 BitsPerSecond fair_share_into(BitsPerSecond capacity, std::span<const Demand> demands,
                               std::vector<BitsPerSecond>& allocation,
                               FairShareScratch& scratch);
+
+/// Demand count at which fair_share_into switches from the reference loop to
+/// the waterfill solver. Session-sized rounds (dozens of channels) stay on
+/// the sweep — sorting them would cost more than it saves; fleet-sized
+/// arbiter rounds cross the threshold and solve at group cost.
+inline constexpr std::size_t kWaterfillThreshold = 512;
 
 /// Weighted max-min fair allocation of `capacity` across `demands`.
 /// Properties (asserted by tests):
@@ -58,13 +77,20 @@ BitsPerSecond fair_share_into(BitsPerSecond capacity, std::span<const Demand> de
 /// channels of one session — stream-count weighted, work-conserving, with no
 /// per-tenant reservations. slice(i) returns tenant i's view of the result
 /// in submission order. Buffers are reused across rounds (allocation-free
-/// once warm, like FairShareScratch).
+/// once warm, like FairShareScratch). Rounds above kWaterfillThreshold solve
+/// through the waterfill path automatically — bitwise-identical, but a fleet
+/// of same-shape tenants costs per-group, not per-flow.
 class LinkArbiter {
  public:
   /// Start a round. Earlier submissions are discarded.
   void begin_round(BitsPerSecond capacity);
   /// Add one tenant's demands; returns the tenant's slice index.
   std::size_t submit(std::span<const Demand> demands);
+  /// Add one tenant's demands as (cap, weight, count) groups — each group
+  /// contributes `count` contiguous identical flows to the round, exactly as
+  /// if submit() had been called with the expansion. The slice stays
+  /// per-flow (member-aligned with the expansion).
+  std::size_t submit_groups(std::span<const DemandGroup> groups);
   /// Run the joint fair-share round. Call once per round, after all submits.
   void allocate();
   /// Tenant `i`'s slice of the joint allocation (valid until the next

@@ -988,6 +988,23 @@ std::span<const net::Demand> TransferSession::link_demands() const noexcept {
   return scratch_.link_demands;
 }
 
+std::span<const net::DemandGroup> TransferSession::link_demand_groups() {
+  auto& groups = scratch_.link_groups;
+  groups.clear();
+  // Run-length collapse: adjacent channels with bitwise-equal (cap, weight)
+  // merge — typically every idle channel ({0, 1}) and every same-shape busy
+  // cluster. Expanding `groups` in order reproduces link_demands() exactly.
+  for (const net::Demand& d : scratch_.link_demands) {
+    if (!groups.empty() && groups.back().cap == d.cap &&
+        groups.back().weight == d.weight) {
+      ++groups.back().count;
+    } else {
+      groups.push_back({d.cap, d.weight, 1});
+    }
+  }
+  return groups;
+}
+
 void TransferSession::apply_link_allocation(std::span<const BitsPerSecond> alloc,
                                             const double eff, const double burst_cap) {
   const auto& duty = scratch_.duty;

@@ -151,6 +151,13 @@ class TransferSession : private FaultHost {
   /// windows, disk pools, duty cycles) and publish them as link demands.
   void collect_link_demands();
   [[nodiscard]] std::span<const net::Demand> link_demands() const noexcept;
+  /// The same demands as link_demands(), run-length collapsed into
+  /// (cap, weight, count) groups: adjacent channels with bitwise-identical
+  /// caps and stream counts become one group. Expanding the groups in order
+  /// reproduces link_demands() exactly, so submitting either to a
+  /// net::LinkArbiter round yields the same joint allocation bit for bit —
+  /// but a fleet of same-shape tenants costs the arbiter per-group.
+  [[nodiscard]] std::span<const net::DemandGroup> link_demand_groups();
   /// Sum of this session's demand caps / parallel streams, inputs to the
   /// shared congestion-efficiency model.
   [[nodiscard]] double aggregate_demand() const noexcept { return agg_demand_; }
@@ -261,6 +268,7 @@ class TransferSession : private FaultHost {
     std::vector<std::size_t> pool_index;
     std::vector<BitsPerSecond> pool_alloc;
     std::vector<net::Demand> link_demands;      ///< the shared-link round
+    std::vector<net::DemandGroup> link_groups;  ///< collapsed view of the above
     std::vector<BitsPerSecond> link_alloc;
     net::FairShareScratch fair_share;
     // rebalance() workspace: a dry queue triggers a rebalance every tick, so

@@ -117,6 +117,29 @@ TEST(FairShare, AllZeroWeightsAllocateNothing) {
   for (double a : r.allocation) EXPECT_DOUBLE_EQ(a, 0.0);
 }
 
+// Pin the all-zero-weight contract on BOTH dispatch paths: above the
+// waterfill threshold the active set is non-empty but its weight sum is
+// zero, so the waterlevel division must be guarded — the round allocates
+// nothing (no NaNs, no infinities) instead of dividing by zero. Routed
+// through fair_share_into and a full LinkArbiter round so the guard is
+// checked where production traffic actually flows.
+TEST(FairShare, AllZeroWeightsAboveThresholdAllocateNothing) {
+  std::vector<Demand> d(kWaterfillThreshold * 3, Demand{gbps(2.0), 0.0});
+  FairShareScratch scratch;
+  std::vector<BitsPerSecond> alloc;
+  const BitsPerSecond total = fair_share_into(gbps(40.0), d, alloc, scratch);
+  EXPECT_DOUBLE_EQ(total, 0.0);
+  for (double a : alloc) ASSERT_DOUBLE_EQ(a, 0.0);
+
+  LinkArbiter arbiter;
+  arbiter.begin_round(gbps(40.0));
+  const std::vector<DemandGroup> groups{{gbps(2.0), 0.0, kWaterfillThreshold * 3}};
+  const std::size_t slot = arbiter.submit_groups(groups);
+  arbiter.allocate();
+  EXPECT_DOUBLE_EQ(arbiter.total(), 0.0);
+  for (double a : arbiter.slice(slot)) ASSERT_DOUBLE_EQ(a, 0.0);
+}
+
 TEST(FairShare, AllZeroCapsAllocateNothing) {
   std::vector<Demand> d{{0.0, 1.0}, {0.0, 2.0}};
   const auto r = fair_share(gbps(4.0), d);

@@ -15,9 +15,12 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "exp/scheduler.hpp"
 #include "exp/service.hpp"
 #include "exp/supervisor.hpp"
+#include "net/fair_share.hpp"
 #include "net/path_set.hpp"
 #include "util/rng.hpp"
 
@@ -407,6 +410,133 @@ TEST(FuzzRobustness, SupervisorInvariantsHoldAcrossSeeds) {
     // Every resume beyond the first attempt is audited.
     EXPECT_EQ(outcome.recovery.count(RecoveryAction::kResume),
               outcome.attempts - 1);
+  }
+}
+
+// --- link arbiter at fleet scale ------------------------------------------
+// The arbiter auto-routes big rounds through the waterfill solver; these
+// fuzz rounds push it to 10^4-10^5 submitted demands (many tenant slices,
+// heavy duplicate clusters, a dose of degenerate entries) and require the
+// joint allocation to stay bitwise equal to the pinned reference loop run
+// on the plain concatenation.
+
+struct ArbiterFuzzRound {
+  double capacity = 0.0;
+  std::vector<std::vector<net::DemandGroup>> tenants;
+};
+
+ArbiterFuzzRound make_arbiter_round(std::uint64_t seed, std::uint64_t scale) {
+  Rng rng(seed);
+  ArbiterFuzzRound round;
+  const auto tenants = rng.uniform_int(3, 24);
+  double agg = 0.0;
+  for (std::uint64_t t = 0; t < tenants; ++t) {
+    std::vector<net::DemandGroup> groups;
+    const auto ng = rng.uniform_int(1, 12);
+    for (std::uint64_t g = 0; g < ng; ++g) {
+      const double cap = rng.uniform01() < 0.06 ? 0.0 : rng.uniform(1e5, 1e9);
+      const double weight =
+          rng.uniform01() < 0.06 ? 0.0 : static_cast<double>(rng.uniform_int(1, 8));
+      const auto count = rng.uniform_int(1, scale);
+      groups.push_back({cap, weight, count});
+      agg += cap * static_cast<double>(count);
+    }
+    round.tenants.push_back(std::move(groups));
+  }
+  round.capacity = std::max(1e6, agg * rng.uniform(0.05, 1.3));
+  return round;
+}
+
+/// Run one round through an arbiter (grouped submission) and return the
+/// concatenated allocation + total.
+std::pair<std::vector<BitsPerSecond>, double> run_arbiter_round(
+    const ArbiterFuzzRound& round, net::LinkArbiter& arbiter) {
+  arbiter.begin_round(round.capacity);
+  for (const auto& groups : round.tenants) arbiter.submit_groups(groups);
+  arbiter.allocate();
+  std::vector<BitsPerSecond> flat;
+  for (std::size_t t = 0; t < round.tenants.size(); ++t) {
+    const auto s = arbiter.slice(t);
+    flat.insert(flat.end(), s.begin(), s.end());
+  }
+  return {std::move(flat), arbiter.total()};
+}
+
+TEST(FuzzRobustness, ArbiterAtScaleMatchesReferenceBitwise) {
+  for (std::uint64_t seed : {71ull, 72ull, 73ull, 74ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    // Counts up to 4000 per group: rounds land in the 10^4-10^5 range.
+    const auto round = make_arbiter_round(seed, 4000);
+    net::LinkArbiter arbiter;
+    const auto [flat, total] = run_arbiter_round(round, arbiter);
+    ASSERT_GE(flat.size(), 10000u) << "fuzz shape too small to mean anything";
+
+    std::vector<net::Demand> concat;
+    for (const auto& groups : round.tenants) {
+      for (const auto& g : groups) {
+        concat.insert(concat.end(), static_cast<std::size_t>(g.count),
+                      net::Demand{g.cap, g.weight});
+      }
+    }
+    net::FairShareScratch scratch;
+    std::vector<BitsPerSecond> ref;
+    const double ref_total =
+        net::fair_share_reference_into(round.capacity, concat, ref, scratch);
+    ASSERT_EQ(flat.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(flat[i], ref[i]) << "flow " << i;
+    }
+    EXPECT_EQ(total, ref_total);
+  }
+}
+
+TEST(FuzzRobustness, ArbiterSameSeedIsBitReproducibleAcrossJobCounts) {
+  // The solver is deterministic scalar code, so the worker count of the
+  // process around it must be invisible: run the same seeded rounds
+  // sequentially and on 4 threads (one arbiter per thread, disjoint rounds
+  // — the arbiter is shared-nothing by design) and require bitwise equality.
+  static constexpr std::uint64_t kSeeds[] = {81, 82, 83, 84};
+  std::vector<std::vector<BitsPerSecond>> sequential(4);
+  std::vector<double> sequential_totals(4);
+  for (int i = 0; i < 4; ++i) {
+    net::LinkArbiter arbiter;
+    auto [flat, total] = run_arbiter_round(make_arbiter_round(kSeeds[i], 1500), arbiter);
+    sequential[static_cast<std::size_t>(i)] = std::move(flat);
+    sequential_totals[static_cast<std::size_t>(i)] = total;
+  }
+
+  std::vector<std::vector<BitsPerSecond>> threaded(4);
+  std::vector<double> threaded_totals(4);
+  {
+    std::vector<std::thread> workers;
+    for (int i = 0; i < 4; ++i) {
+      workers.emplace_back([i, &threaded, &threaded_totals] {
+        net::LinkArbiter arbiter;
+        auto [flat, total] =
+            run_arbiter_round(make_arbiter_round(kSeeds[i], 1500), arbiter);
+        threaded[static_cast<std::size_t>(i)] = std::move(flat);
+        threaded_totals[static_cast<std::size_t>(i)] = total;
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    SCOPED_TRACE("round " + std::to_string(kSeeds[i]));
+    ASSERT_EQ(threaded[i].size(), sequential[i].size());
+    EXPECT_EQ(threaded_totals[i], sequential_totals[i]);
+    for (std::size_t j = 0; j < sequential[i].size(); ++j) {
+      ASSERT_EQ(threaded[i][j], sequential[i][j]) << "flow " << j;
+    }
+  }
+
+  // And plain same-seed runs agree with themselves, worker count aside.
+  for (const std::uint64_t seed : kSeeds) {
+    net::LinkArbiter a, b;
+    const auto ra = run_arbiter_round(make_arbiter_round(seed, 1500), a);
+    const auto rb = run_arbiter_round(make_arbiter_round(seed, 1500), b);
+    ASSERT_EQ(ra.first, rb.first);
+    EXPECT_EQ(ra.second, rb.second);
   }
 }
 

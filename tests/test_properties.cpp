@@ -12,6 +12,8 @@
 #include <utility>
 
 #include "exp/sweep.hpp"
+#include "net/fair_share.hpp"
+#include "util/rng.hpp"
 
 namespace eadt::exp {
 namespace {
@@ -260,6 +262,160 @@ TEST(SweepSeedProperties, SubmissionOrderDoesNotChangeResults) {
         << to_string(shuffled[i].algorithm) << " cc=" << shuffled[i].concurrency;
   }
 }
+
+// --- waterfill solver properties -----------------------------------------
+// The differential battery (test_waterfill.cpp) pins the solver to the
+// reference loop bit for bit; these tests state what the allocation itself
+// must look like, independent of any implementation: the max-min contract
+// the paper's shared-link model is built on.
+
+std::vector<net::DemandGroup> random_groups(Rng& rng, int max_groups) {
+  std::vector<net::DemandGroup> groups;
+  const int ng = static_cast<int>(rng.uniform_int(1, max_groups));
+  for (int g = 0; g < ng; ++g) {
+    groups.push_back({rng.uniform(1e5, 1e9),
+                      static_cast<double>(rng.uniform_int(1, 6)),
+                      rng.uniform_int(1, 500)});
+  }
+  return groups;
+}
+
+class WaterfillProperty : public ::testing::TestWithParam<int> {};
+
+// Work conservation and cap respect: the fill places min(capacity, demand)
+// in aggregate, and no member ever exceeds its own cap — exactly, not
+// approximately, because a cap is assigned by copy, never recomputed.
+TEST_P(WaterfillProperty, WorkConservingAndCapRespecting) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151ULL + 29);
+  net::WaterfillSolver solver;
+  std::vector<BitsPerSecond> rates;
+  for (int round = 0; round < 20; ++round) {
+    const auto groups = random_groups(rng, 24);
+    double agg = 0.0;
+    for (const auto& g : groups) agg += g.cap * static_cast<double>(g.count);
+    const double capacity = agg * rng.uniform(0.05, 1.5);
+    const double total = solver.solve_dist(capacity, groups, rates);
+
+    double member_sum = 0.0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      EXPECT_GE(rates[g], 0.0);
+      EXPECT_LE(rates[g], groups[g].cap);  // exact: caps are copied, not derived
+      member_sum += rates[g] * static_cast<double>(groups[g].count);
+    }
+    const double expect = std::min(capacity, agg);
+    EXPECT_NEAR(total, expect, std::max(1.0, expect * 1e-9));
+    EXPECT_NEAR(member_sum, total, std::max(1.0, total * 1e-9));
+  }
+}
+
+// Raising one group's weight never lowers its own per-member rate and never
+// raises anyone else's — max-min fairness is monotone in weight.
+TEST_P(WaterfillProperty, WeightMonotonicity) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2749ULL + 7);
+  net::WaterfillSolver solver;
+  std::vector<BitsPerSecond> base, bumped;
+  for (int round = 0; round < 10; ++round) {
+    auto groups = random_groups(rng, 16);
+    double agg = 0.0;
+    for (const auto& g : groups) agg += g.cap * static_cast<double>(g.count);
+    const double capacity = agg * rng.uniform(0.2, 0.9);
+    solver.solve_dist(capacity, groups, base);
+
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(0, groups.size() - 1));
+    groups[pick].weight *= rng.uniform(1.5, 4.0);
+    solver.solve_dist(capacity, groups, bumped);
+
+    // Monotone up to rounding: a changed weight reshuffles every round's
+    // weight sum, so equality holds only to last-ulp noise at rate scale.
+    const auto tol = [](double v) { return std::max(1e-6, v * 1e-9); };
+    EXPECT_GE(bumped[pick], base[pick] - tol(base[pick]));
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (g == pick) continue;
+      EXPECT_LE(bumped[g], base[g] + tol(base[g]));
+    }
+  }
+}
+
+// Permuting the groups permutes the rates: submission order is bookkeeping,
+// not policy. Order can shift last-ulp rounding, so this is a near-equality
+// (the bitwise contract applies to a FIXED order; see test_waterfill.cpp).
+TEST_P(WaterfillProperty, PermutationInvariance) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 911ULL + 5);
+  net::WaterfillSolver solver;
+  std::vector<BitsPerSecond> a, b;
+  for (int round = 0; round < 10; ++round) {
+    const auto groups = random_groups(rng, 16);
+    double agg = 0.0;
+    for (const auto& g : groups) agg += g.cap * static_cast<double>(g.count);
+    const double capacity = agg * rng.uniform(0.1, 1.2);
+    solver.solve_dist(capacity, groups, a);
+
+    std::vector<std::size_t> perm(groups.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+    for (std::size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.uniform_int(0, i - 1)]);
+    }
+    std::vector<net::DemandGroup> shuffled;
+    for (const std::size_t i : perm) shuffled.push_back(groups[i]);
+    solver.solve_dist(capacity, shuffled, b);
+
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      const double tol = std::max(1e-6, a[perm[i]] * 1e-9);
+      EXPECT_NEAR(b[i], a[perm[i]], tol) << "round " << round << " slot " << i;
+    }
+  }
+}
+
+// Collapse invariance, the dist-mode contract: k adjacent count-1 groups
+// with identical (cap, weight) are BITWISE the same round as one
+// (cap, weight, k) group — and the same as k duplicate scalar demands. This
+// is what lets proto sessions and the bench submit collapsed rounds without
+// perturbing a single golden.
+TEST_P(WaterfillProperty, CollapseInvarianceIsBitwise) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 409ULL + 11);
+  net::WaterfillSolver solver;
+  for (int round = 0; round < 10; ++round) {
+    const double cap = rng.uniform(1e6, 1e9);
+    const double weight = static_cast<double>(rng.uniform_int(1, 4));
+    const auto k = rng.uniform_int(2, 200);
+    // A bystander group on each side so the cluster is interior.
+    const net::DemandGroup before{rng.uniform(1e6, 1e9), 1.0, 3};
+    const net::DemandGroup after{rng.uniform(1e6, 1e9), 2.0, 5};
+    const double capacity =
+        (before.cap * 3 + cap * static_cast<double>(k) + after.cap * 5) *
+        rng.uniform(0.1, 1.2);
+
+    std::vector<net::DemandGroup> collapsed{before, {cap, weight, k}, after};
+    std::vector<net::DemandGroup> split{before};
+    for (std::uint64_t i = 0; i < k; ++i) split.push_back({cap, weight, 1});
+    split.push_back(after);
+
+    std::vector<BitsPerSecond> cr, sr;
+    const double ct = solver.solve_dist(capacity, collapsed, cr);
+    const double st = solver.solve_dist(capacity, split, sr);
+    ASSERT_EQ(ct, st) << "round " << round;
+    ASSERT_EQ(sr.front(), cr.front());
+    ASSERT_EQ(sr.back(), cr.back());
+    for (std::uint64_t i = 0; i < k; ++i) {
+      ASSERT_EQ(sr[1 + i], cr[1]) << "round " << round << " member " << i;
+    }
+
+    // Scalar duplicates route through the same collapse.
+    std::vector<net::Demand> flat(static_cast<std::size_t>(k),
+                                  net::Demand{cap, weight});
+    flat.insert(flat.begin(), net::Demand{before.cap, before.weight});
+    // (bystanders trimmed: the scalar list covers just the cluster edge case)
+    std::vector<BitsPerSecond> fr;
+    net::WaterfillSolver scalar_solver;
+    scalar_solver.solve(capacity, flat, fr);
+    for (std::size_t i = 2; i < fr.size(); ++i) {
+      ASSERT_EQ(fr[i], fr[1]) << "duplicate members diverged";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaterfillProperty, ::testing::Range(0, 8));
 
 }  // namespace
 }  // namespace eadt::exp
