@@ -156,13 +156,19 @@ int main(int argc, char** argv) {
     scenarios.push_back(std::move(s));
   }
 
+  // --jobs / EADT_JOBS drives both layers of parallelism: the scenario
+  // fan-out below and each scheduler's own tick pipeline. The reports are
+  // byte-identical at any value of either.
+  const int jobs = exp::resolve_jobs(opt.jobs);
+  for (auto& s : scenarios) s.policy.jobs = jobs;
+
   const auto collector = bench::make_collector(opt);
   const power::Tariff tariff = power::Tariff::time_of_use(
       0.05, {{8.0, 20.0, 0.30}});
 
   const auto sweep_start = std::chrono::steady_clock::now();
   exp::SweepRunner::parallel_indexed(
-      exp::resolve_jobs(opt.jobs), scenarios.size(), [&](std::size_t i) {
+      jobs, scenarios.size(), [&](std::size_t i) {
         auto& s = scenarios[i];
         const auto cell_start = std::chrono::steady_clock::now();
         exp::Scheduler scheduler(base, reference_rate, s.policy);

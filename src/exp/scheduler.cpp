@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <span>
+#include <type_traits>
 #include <utility>
 
 #include "baselines/baselines.hpp"
+#include "exp/tick_pool.hpp"
 #include "net/tcp_model.hpp"
 #include "obs/obs.hpp"
 #include "power/end_system.hpp"
@@ -49,6 +53,103 @@ Watts session_peak_power_bound(const proto::Environment& env) {
   return side(env.source) + side(env.destination);
 }
 
+std::string scheduler_report_payload(const SchedulerReport& report) {
+  std::string out;
+  out.reserve(256 + report.jobs.size() * 512);
+  const auto hexf = [&out](const char* key, double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s=%a\n", key, v);
+    out += buf;
+  };
+  const auto intf = [&out](const char* key, long long v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s=%lld\n", key, v);
+    out += buf;
+  };
+  for (const TenantOutcome& t : report.jobs) {
+    out += "job ";
+    out += t.name;
+    out += '\n';
+    out += "policy=";
+    out += to_string(t.policy);
+    out += '\n';
+    out += "class=";
+    out += to_string(t.sla_class);
+    out += '\n';
+    hexf("submitted_at", t.submitted_at);
+    hexf("started_at", t.started_at);
+    hexf("finished_at", t.finished_at);
+    intf("rejected", t.rejected ? 1 : 0);
+    intf("failed", t.failed ? 1 : 0);
+    intf("sla_met", t.sla_met ? 1 : 0);
+    intf("attempts", t.attempts);
+    intf("preemptions", t.preemptions);
+    intf("deferrals", t.deferrals);
+    intf("migrations", t.migrations);
+    intf("path", t.path);
+    hexf("cost_usd", t.cost_usd);
+    const proto::RunResult& r = t.result;
+    hexf("duration", r.duration);
+    intf("bytes", static_cast<long long>(r.bytes));
+    hexf("end_system_energy", r.end_system_energy);
+    hexf("network_energy", r.network_energy);
+    intf("final_concurrency", r.final_concurrency);
+    intf("completed", r.completed ? 1 : 0);
+    intf("retries", r.faults.retries);
+    intf("channel_drops", r.faults.channel_drops);
+    intf("checksum_failures", r.faults.checksum_failures);
+    intf("server_outages", r.faults.server_outages);
+    intf("wasted_bytes", static_cast<long long>(r.faults.wasted_bytes));
+    hexf("wasted_joules", r.faults.wasted_joules);
+    hexf("channel_downtime", r.faults.channel_downtime);
+    for (const proto::SampleStats& s : r.samples) {
+      hexf("s.start", s.window_start);
+      hexf("s.end", s.window_end);
+      intf("s.bytes", static_cast<long long>(s.bytes));
+      hexf("s.energy", s.end_system_energy);
+      intf("s.channels", s.active_channels);
+      intf("s.down", s.down_channels);
+    }
+    for (const RecoveryEvent& e : t.recovery.events) {
+      hexf("r.at", e.at);
+      intf("r.attempt", e.attempt);
+      out += "r.action=";
+      out += to_string(e.action);
+      out += '\n';
+      out += "r.policy=";
+      out += e.policy;
+      out += '\n';
+      intf("r.max_channels", e.max_channels);
+    }
+  }
+  out += "aggregate\n";
+  intf("submitted", report.submitted);
+  intf("accepted", report.accepted);
+  intf("rejected", report.rejected);
+  intf("completed", report.completed);
+  intf("failed", report.failed);
+  intf("preemptions", report.preemptions);
+  intf("deferrals", report.deferrals);
+  intf("migrations", report.migrations);
+  hexf("makespan", report.makespan);
+  intf("total_bytes", static_cast<long long>(report.total_bytes));
+  hexf("total_energy", report.total_energy);
+  hexf("total_cost_usd", report.total_cost_usd);
+  hexf("peak_power", report.peak_power);
+  hexf("peak_power_bound", report.peak_power_bound);
+  intf("power_cap_violations", report.power_cap_violations);
+  intf("max_concurrent", report.max_concurrent_observed);
+  for (const SlaClassStats* c :
+       {&report.interactive, &report.standard, &report.scavenger}) {
+    intf("c.submitted", c->submitted);
+    intf("c.rejected", c->rejected);
+    intf("c.completed", c->completed);
+    intf("c.failed", c->failed);
+    intf("c.sla_met", c->sla_met);
+  }
+  return out;
+}
+
 namespace {
 
 [[nodiscard]] int class_rank(SlaClass cls) noexcept {
@@ -58,6 +159,28 @@ namespace {
     case SlaClass::kScavenger: return 2;
   }
   return 1;
+}
+
+/// Below this many running tenants the pool handshake costs more than the
+/// phases it would shard, so the tick stays serial. Purely a wall-clock
+/// cutoff: the output is byte-identical either way.
+constexpr std::size_t kMinParallelTenants = 16;
+
+/// One tick phase over [0, count): sharded across the pool when one is
+/// engaged, inline in index order otherwise. The lambda is passed by address
+/// as the pool's context — no std::function, no allocation on the tick path.
+template <typename Fn>
+void run_phase(TickPool* pool, std::size_t count, Fn&& fn) {
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool->run(
+      count,
+      [](void* ctx, std::size_t i) {
+        (*static_cast<std::remove_reference_t<Fn>*>(ctx))(i);
+      },
+      &fn);
 }
 
 }  // namespace
@@ -76,6 +199,7 @@ struct Scheduler::Tenant {
   Seconds attempt_deadline = 0.0;  ///< watchdog for the current leg (0 = none)
   int deadline_aborts = 0;  ///< watchdog aborts only; preemptions don't count
   int path = 0;             ///< current PathSet placement (0 in single-path mode)
+  std::size_t tick_index = 0;  ///< position in running_ this tick (staging key)
   enum class State { kPending, kQueued, kDeferred, kRunning, kDone } state = State::kPending;
   TenantOutcome out;
 };
@@ -262,6 +386,29 @@ void Scheduler::release_capacity(const Tenant& t) {
   const Watts peak = multipath() ? path_session_peak_[t.path] : session_peak_;
   running_peak_sum_ -= peak;
   if (multipath()) path_running_peak_[t.path] -= peak;
+}
+
+TickPool* Scheduler::tick_pool() const noexcept {
+  if (pool_ == nullptr) return nullptr;
+  if (running_.size() < kMinParallelTenants) return nullptr;
+  // Without a collector every tenant shares base_config_.obs, and trace /
+  // decision slots are single-writer — sharded prepare phases would race on
+  // them. A collector gives each tenant its own slot, so the gate opens.
+  if (collector_ == nullptr && base_config_.obs != nullptr) return nullptr;
+  return pool_.get();
+}
+
+void Scheduler::stage_allocations(const std::vector<Tenant*>& group, const double eff,
+                                  const double burst_cap) {
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    const auto slice = arbiter_.slice(i);
+    StagedSlice& staged = tick_slices_[group[i]->tick_index];
+    staged.offset = tick_alloc_.size();
+    staged.count = slice.size();
+    staged.eff = eff;
+    staged.burst_cap = burst_cap;
+    tick_alloc_.insert(tick_alloc_.end(), slice.begin(), slice.end());
+  }
 }
 
 void Scheduler::try_dispatch() {
@@ -487,22 +634,34 @@ bool Scheduler::master_tick() {
   // Watchdogs first, mirroring the single-session guard: a leg whose local
   // clock has passed its deadline is aborted before this tick's work.
   if (policy_.supervision.attempt_deadline > 0.0 && !running_.empty()) {
-    std::vector<Tenant*> overdue;
+    overdue_.clear();
     for (Tenant* t : running_) {
-      if (sim_.now() - t->attempt_started > t->attempt_deadline) overdue.push_back(t);
+      if (sim_.now() - t->attempt_started > t->attempt_deadline) overdue_.push_back(t);
     }
-    for (Tenant* t : overdue) {
+    for (Tenant* t : overdue_) {
       abort_attempt(*t, t->attempt_started + t->attempt_deadline);
     }
-    if (!overdue.empty()) try_dispatch();
+    if (!overdue_.empty()) try_dispatch();
   }
 
   if (!running_.empty() && multipath()) {
     master_tick_multipath();
   } else if (!running_.empty()) {
-    // Phase 1: per-session prepare + demand collection, in admission order.
-    for (Tenant* t : running_) t->session->tick_prepare();
-    for (Tenant* t : running_) t->session->collect_link_demands();
+    const std::size_t n_run = running_.size();
+    TickPool* pool = tick_pool();
+
+    // Phase 1 (parallel-safe): per-session prepare + demand collection +
+    // group collapse. Each tenant touches only its own session state and its
+    // own single-writer obs slot, so sharding cannot reorder anything a
+    // tenant observes — the joint round below reads the results in
+    // admission order regardless of which worker produced them.
+    run_phase(pool, n_run, [&](std::size_t i) {
+      Tenant& t = *running_[i];
+      t.tick_index = i;
+      t.session->tick_prepare();
+      t.session->collect_link_demands();
+      (void)t.session->link_demand_groups();
+    });
 
     // The shared path: site-level brownouts scale it for everyone, and a
     // per-session fault brownout is a property of the path too — the most
@@ -515,14 +674,16 @@ bool Scheduler::master_tick() {
     const BitsPerSecond capacity =
         testbed_.env.path.available_bandwidth() * link_factor_ * min_path;
 
-    // Phase 2: ONE joint fair-share round over every tenant's demands.
+    // Phase 2 (serial): ONE joint fair-share round over every tenant's
+    // demands, submitted in admission order — the order, not the worker
+    // schedule, is what the allocation depends on.
     arbiter_.begin_round(capacity);
     // Grouped submission: each tenant's demand list is run-length collapsed,
     // which the arbiter expands back verbatim — the joint round is bitwise
     // the same as per-flow submit(), and fleets of same-shape tenants let
     // the waterfill path solve at group cost.
     for (Tenant* t : running_) {
-      arbiter_.submit_groups(t->session->link_demand_groups());
+      arbiter_.submit_groups(t->session->cached_link_demand_groups());
     }
     arbiter_.allocate();
 
@@ -540,19 +701,35 @@ bool Scheduler::master_tick() {
     }
     const double burst_cap =
         total_avg > 0.0 ? std::max(1.0, capacity / total_avg) : 1.0;
-    for (std::size_t i = 0; i < running_.size(); ++i) {
-      running_[i]->session->apply_link_allocation(arbiter_.slice(i), eff, burst_cap);
-    }
+    tick_alloc_.clear();
+    tick_slices_.resize(n_run);
+    stage_allocations(running_, eff, burst_cap);
 
-    // Phase 3: advance every session, then close the power books for the
-    // tick. Completions are collected first so the sum covers every tenant
-    // that was live during the slice.
-    std::vector<Tenant*> finished;
+    // Phase 3a (parallel-safe): rate application and byte/energy compute.
+    // Rates, channel movement and the energy ledgers are pure per-session
+    // math over the staged slice (the per-session jitter RNG included), so
+    // tenants shard freely.
+    run_phase(pool, n_run, [&](std::size_t i) {
+      const StagedSlice& staged = tick_slices_[i];
+      proto::TransferSession& s = *running_[i]->session;
+      s.apply_link_allocation(
+          std::span<const BitsPerSecond>(tick_alloc_.data() + staged.offset,
+                                         staged.count),
+          staged.eff, staged.burst_cap);
+      s.advance_compute();
+    });
+
+    // Phase 3b (serial commit, admission order): everything that touches the
+    // shared simulation or cross-tenant books — checkpoint emission, obs,
+    // sampling/controller callbacks, the power sum (kept in admission order
+    // so the floating-point reduction is bitwise the sequential one), and
+    // completion collection.
+    finished_.clear();
     Watts measured = 0.0;
     for (Tenant* t : running_) {
-      const bool more = t->session->advance_tick();
+      const bool more = t->session->advance_commit();
       measured += t->session->last_tick_power();
-      if (!more) finished.push_back(t);
+      if (!more) finished_.push_back(t);
     }
     report_.peak_power = std::max(report_.peak_power, measured);
     if (policy_.power_cap > 0.0 && measured > policy_.power_cap * (1.0 + 1e-9)) {
@@ -561,7 +738,7 @@ bool Scheduler::master_tick() {
     if (!running_.empty() && collector_ != nullptr) {
       collector_->metrics().gauge("scheduler.peak_power_w").set_max(measured);
     }
-    for (Tenant* t : finished) complete(*t);
+    for (Tenant* t : finished_) complete(*t);
   }
 
   try_dispatch();
@@ -578,24 +755,36 @@ void Scheduler::master_tick_multipath() {
   // phase 2 is grouped — so a PathSet with one option reproduces the
   // single-path tick exactly.
   const int n = static_cast<int>(path_envs_.size());
+  const std::size_t n_run = running_.size();
+  TickPool* pool = tick_pool();
 
-  // Phase 1: per-session prepare + demand collection, in admission order.
-  for (Tenant* t : running_) t->session->tick_prepare();
-  for (Tenant* t : running_) t->session->collect_link_demands();
+  // Phase 1 (parallel-safe): per-session prepare + demand collection +
+  // group collapse, exactly as in the single-path tick.
+  run_phase(pool, n_run, [&](std::size_t i) {
+    Tenant& t = *running_[i];
+    t.tick_index = i;
+    t.session->tick_prepare();
+    t.session->collect_link_demands();
+    (void)t.session->link_demand_groups();
+  });
 
-  // Phase 2: one fair-share round per path. -1 marks paths with no running
-  // tenants this tick: they carry no goodput signal (an idle path is not an
-  // unhealthy path) and are skipped by the health feed below.
+  // Phase 2 (serial): one fair-share round per path. -1 marks paths with no
+  // running tenants this tick: they carry no goodput signal (an idle path is
+  // not an unhealthy path) and are skipped by the health feed below. The
+  // arbiter is reused round by round, so each round's slices are staged
+  // before the next begin_round invalidates them — which is also what lets
+  // the rate application run sharded after the loop.
   path_capacity_.assign(n, -1.0);
-  std::vector<Tenant*> group;
+  tick_alloc_.clear();
+  tick_slices_.resize(n_run);
   for (int p = 0; p < n; ++p) {
-    group.clear();
+    path_group_.clear();
     for (Tenant* t : running_) {
-      if (t->path == p) group.push_back(t);
+      if (t->path == p) path_group_.push_back(t);
     }
-    if (group.empty()) continue;
-    double min_path = group.front()->session->path_factor();
-    for (const Tenant* t : group) {
+    if (path_group_.empty()) continue;
+    double min_path = path_group_.front()->session->path_factor();
+    for (const Tenant* t : path_group_) {
       min_path = std::min(min_path, t->session->path_factor());
     }
     const BitsPerSecond capacity =
@@ -603,43 +792,54 @@ void Scheduler::master_tick_multipath() {
     path_capacity_[p] = capacity;
 
     arbiter_.begin_round(capacity);
-    for (Tenant* t : group) {
-      arbiter_.submit_groups(t->session->link_demand_groups());
+    for (Tenant* t : path_group_) {
+      arbiter_.submit_groups(t->session->cached_link_demand_groups());
     }
     arbiter_.allocate();
 
     double agg_demand = 0.0;
     int agg_streams = 0;
-    for (const Tenant* t : group) {
+    for (const Tenant* t : path_group_) {
       agg_demand += t->session->aggregate_demand();
       agg_streams += t->session->aggregate_streams();
     }
     const double eff = net::congestion_efficiency(path_envs_[p].congestion,
                                                   agg_demand, capacity, agg_streams);
     double total_avg = 0.0;
-    for (std::size_t i = 0; i < group.size(); ++i) {
+    for (std::size_t i = 0; i < path_group_.size(); ++i) {
       for (const BitsPerSecond a : arbiter_.slice(i)) total_avg += a * eff;
     }
     const double burst_cap =
         total_avg > 0.0 ? std::max(1.0, capacity / total_avg) : 1.0;
-    for (std::size_t i = 0; i < group.size(); ++i) {
-      group[i]->session->apply_link_allocation(arbiter_.slice(i), eff, burst_cap);
-    }
+    stage_allocations(path_group_, eff, burst_cap);
   }
 
-  // Phase 3: advance every session; close the power books globally AND per
-  // site, and feed the health monitor each path's achieved-vs-offered
-  // goodput for the slice.
-  std::vector<Tenant*> finished;
+  // Phase 3a (parallel-safe): rate application + byte/energy compute from
+  // the staged slices. Every running tenant is placed on exactly one path,
+  // so every slot of tick_slices_ was staged above.
+  run_phase(pool, n_run, [&](std::size_t i) {
+    const StagedSlice& staged = tick_slices_[i];
+    proto::TransferSession& s = *running_[i]->session;
+    s.apply_link_allocation(
+        std::span<const BitsPerSecond>(tick_alloc_.data() + staged.offset,
+                                       staged.count),
+        staged.eff, staged.burst_cap);
+    s.advance_compute();
+  });
+
+  // Phase 3b (serial commit, admission order): close the power books
+  // globally AND per site, and feed the health monitor each path's
+  // achieved-vs-offered goodput for the slice.
+  finished_.clear();
   Watts measured = 0.0;
-  std::vector<Watts> path_measured(n, 0.0);
-  std::vector<double> path_bytes(n, 0.0);
+  path_measured_.assign(n, 0.0);
+  path_bytes_.assign(n, 0.0);
   for (Tenant* t : running_) {
-    const bool more = t->session->advance_tick();
+    const bool more = t->session->advance_commit();
     measured += t->session->last_tick_power();
-    path_measured[t->path] += t->session->last_tick_power();
-    path_bytes[t->path] += static_cast<double>(t->session->last_tick_bytes());
-    if (!more) finished.push_back(t);
+    path_measured_[t->path] += t->session->last_tick_power();
+    path_bytes_[t->path] += static_cast<double>(t->session->last_tick_bytes());
+    if (!more) finished_.push_back(t);
   }
   report_.peak_power = std::max(report_.peak_power, measured);
   if (policy_.power_cap > 0.0 && measured > policy_.power_cap * (1.0 + 1e-9)) {
@@ -647,7 +847,7 @@ void Scheduler::master_tick_multipath() {
   }
   for (int p = 0; p < n; ++p) {
     const Watts cap = path_cap(p);
-    if (cap > 0.0 && path_measured[p] > cap * (1.0 + 1e-9)) {
+    if (cap > 0.0 && path_measured_[p] > cap * (1.0 + 1e-9)) {
       ++report_.power_cap_violations;
     }
   }
@@ -658,7 +858,7 @@ void Scheduler::master_tick_multipath() {
     // a path delivering 10% of itself would look perfectly healthy.
     const double expected =
         path_envs_[p].path.available_bandwidth() * base_config_.tick / 8.0;
-    const double frac = expected > 0.0 ? path_bytes[p] / expected : 1.0;
+    const double frac = expected > 0.0 ? path_bytes_[p] / expected : 1.0;
     health_->observe_goodput(p, sim_.now(), std::min(1.0, frac));
   }
   if (collector_ != nullptr) {
@@ -674,12 +874,15 @@ void Scheduler::master_tick_multipath() {
       sched_sinks_->trace->counter(sim_.now(), path_phi_track_[p], health_->phi(p));
     }
   }
-  for (Tenant* t : finished) complete(*t);
+  for (Tenant* t : finished_) complete(*t);
 }
 
 SchedulerReport Scheduler::run(std::vector<SchedulerJob> jobs) {
   report_ = {};
   session_peak_ = session_peak_power_bound(testbed_.env);
+  // The tick pool lives for the whole schedule: workers park between phases
+  // (and between ticks), so a dispatch is a notify, not a thread spawn.
+  if (policy_.jobs > 1) pool_ = std::make_unique<TickPool>(policy_.jobs);
   if (multipath()) {
     const int n = static_cast<int>(policy_.paths.size());
     path_envs_.clear();
@@ -758,6 +961,7 @@ SchedulerReport Scheduler::run(std::vector<SchedulerJob> jobs) {
   }
   sim_.add_ticker(base_config_.tick, [this] { return master_tick(); });
   sim_.run_until(policy_.horizon + base_config_.tick);
+  pool_.reset();  // join the workers before the single-threaded close-out
 
   // The horizon: anything still in flight is closed out honestly.
   for (const auto& tp : tenants_) {

@@ -55,6 +55,8 @@ class StreamingTraceWriter;
 
 namespace eadt::exp {
 
+class TickPool;
+
 /// Per-tenant service class, mapped from the job's policy. The class decides
 /// how a job behaves under pressure, not which algorithm it runs.
 enum class SlaClass {
@@ -110,6 +112,17 @@ struct SchedulerPolicy {
   /// a missing or zero entry falls back to `power_cap`. When `power_cap` is
   /// also set it additionally bounds the *sum* across all paths.
   std::vector<Watts> path_power_caps;
+
+  // --- Tick parallelism (appended for the same positional-initializer
+  // reason as the path fields above).
+  /// Workers for the per-tenant phases of the master tick (exp::TickPool).
+  /// <= 1 keeps the tick single-threaded. The report, traces and metrics are
+  /// byte-identical at any value — parallel-safe phases run sharded with
+  /// per-session state, everything touching the shared Simulation commits
+  /// serially in admission order (MODEL.md §16) — so `jobs` is purely a
+  /// wall-clock knob. Callers wire exp::resolve_jobs() through here to honor
+  /// --jobs / EADT_JOBS.
+  int jobs = 1;
 };
 
 /// Per-class aggregate accounting.
@@ -178,6 +191,14 @@ struct SchedulerReport {
     return accepted == submitted - rejected && completed + failed == accepted;
   }
 };
+
+/// Canonical text dump of everything deterministic in a SchedulerReport:
+/// per-job outcomes with hex-float doubles (bit-exact, locale-independent),
+/// every sample window, every recovery event, and the aggregate books. Two
+/// runs agree iff their payloads are byte-identical — this is what the
+/// parallel-tick determinism tests and bench/service_fleet's bitwise race
+/// compare across worker counts.
+[[nodiscard]] std::string scheduler_report_payload(const SchedulerReport& report);
 
 /// Provable upper bound on one session's end-system draw: every server of
 /// both endpoints at full component utilization, Eq. 2 evaluated at its
@@ -253,6 +274,18 @@ class Scheduler {
   [[nodiscard]] int pick_path(bool allow_failed) const;
   void release_capacity(const Tenant& t);
   void master_tick_multipath();
+  /// The pool when this tick should fan out, else null (serial). Parallel
+  /// mode needs enough tenants to amortize the dispatch handshake, and every
+  /// tenant on its own obs slot (slots are single-writer; without a collector
+  /// all tenants share base_config_.obs, so the tick stays serial).
+  [[nodiscard]] TickPool* tick_pool() const noexcept;
+  /// Copy each running tenant's slice of the arbiter's current round into
+  /// the staged scratch (tick_alloc_ / tick_slices_), tagged with the
+  /// round's efficiency and burst factors. Staging is what lets the rate
+  /// application run after the arbiter's buffers are reused (multipath runs
+  /// one round per path) and off-thread (slices index caller-owned storage).
+  void stage_allocations(const std::vector<Tenant*>& group, double eff,
+                         double burst_cap);
 
   const testbeds::Testbed& testbed_;
   BitsPerSecond reference_rate_ = 0.0;
@@ -276,6 +309,25 @@ class Scheduler {
   double link_factor_ = 1.0;      ///< site-level brownout factor
   int unfinished_ = 0;            ///< tenants not yet terminal
   SchedulerReport report_;
+
+  // --- per-tick scratch (hoisted so a steady-state master tick performs no
+  // heap allocations; scratch only — never carries state across ticks) ------
+  /// One tenant's staged share of a tick's arbitration: a window into
+  /// tick_alloc_ plus the round factors apply_link_allocation() needs.
+  struct StagedSlice {
+    std::size_t offset = 0;
+    std::size_t count = 0;
+    double eff = 1.0;
+    double burst_cap = 1.0;
+  };
+  std::vector<Tenant*> overdue_;        ///< watchdog sweep
+  std::vector<Tenant*> finished_;       ///< tenants completing this tick
+  std::vector<Tenant*> path_group_;     ///< multipath: one path's tenants
+  std::vector<Watts> path_measured_;    ///< multipath per-site power books
+  std::vector<double> path_bytes_;      ///< multipath health feed
+  std::vector<BitsPerSecond> tick_alloc_;  ///< staged slices, concatenated
+  std::vector<StagedSlice> tick_slices_;   ///< indexed like running_
+  std::unique_ptr<TickPool> pool_;      ///< live while run() executes (jobs > 1)
 
   // --- multipath state (empty / unused in single-path mode) ---------------
   std::vector<proto::Environment> path_envs_;  ///< stable: sessions hold refs

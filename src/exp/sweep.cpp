@@ -12,6 +12,7 @@
 #include <sstream>
 #include <thread>
 
+#include "exp/tick_pool.hpp"
 #include "obs/obs.hpp"
 #include "util/json.hpp"
 
@@ -67,26 +68,14 @@ void SweepRunner::parallel_indexed(int jobs, std::size_t count,
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        fn(i);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  // One transient pool per call: sweep cells run for seconds, so the spawn
+  // cost is noise here — the pool exists so the scheduler's tick pipeline
+  // (which dispatches thousands of times per run) shares this exact fan-out
+  // and its tests.
+  TickPool pool(static_cast<int>(workers));
+  pool.run(count, [](void* ctx, std::size_t i) {
+    (*static_cast<const std::function<void(std::size_t)>*>(ctx))(i);
+  }, const_cast<std::function<void(std::size_t)>*>(&fn));
 }
 
 namespace {

@@ -1,0 +1,81 @@
+#include "exp/tick_pool.hpp"
+
+#include <algorithm>
+
+namespace eadt::exp {
+
+TickPool::TickPool(int jobs) {
+  const int extra = std::max(jobs, 1) - 1;
+  threads_.reserve(static_cast<std::size_t>(extra));
+  for (int w = 0; w < extra; ++w) {
+    threads_.emplace_back([this] {
+      std::uint64_t seen = 0;
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> lock(mutex_);
+          start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+          if (stop_) return;
+          seen = generation_;
+        }
+        drain();
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          if (--pending_ == 0) done_cv_.notify_all();
+        }
+      }
+    });
+  }
+}
+
+TickPool::~TickPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void TickPool::drain() noexcept {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count_) return;
+    try {
+      fn_(ctx_, i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void TickPool::run(std::size_t count, void (*fn)(void*, std::size_t), void* ctx) {
+  if (count == 0) return;
+  if (threads_.empty() || count == 1) {
+    // Inline path: index order, exceptions propagate directly. A count of 1
+    // also skips the handshake — waking the pool for one index buys nothing.
+    for (std::size_t i = 0; i < count; ++i) fn(ctx, i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = fn;
+    ctx_ = ctx;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    pending_ = static_cast<int>(threads_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  drain();  // the calling thread is a worker too
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace eadt::exp

@@ -1,0 +1,78 @@
+// A persistent worker pool for deterministic index-sharded fan-out.
+//
+// SweepRunner::parallel_indexed spawned a fresh thread set per call, which is
+// fine for a handful of multi-second sweep cells but hopeless for a scheduler
+// master tick that fans out thousands of sub-millisecond session phases ten
+// times per simulated second. TickPool keeps its workers parked on a
+// condition variable between dispatches, so issuing one parallel phase costs
+// a notify + two counter handshakes instead of N thread spawns.
+//
+// The determinism contract is the caller's, and the pool is built to make it
+// easy to keep: work is addressed by index only (an atomic cursor hands each
+// worker the next unclaimed index), the pool never reorders or batches, and
+// `run` returns only after every index in [0, count) has executed. A caller
+// whose fn(i) touches slot i of caller-owned storage and nothing shared gets
+// byte-identical results at any worker count — the same bar SweepRunner and
+// the exp::Scheduler tick pipeline are tested against.
+//
+// Dispatch is allocation-free after construction (the alloc-guard bar for
+// everything on the master-tick path): the work item is a raw function
+// pointer plus a context pointer, and the handshake is mutex/condvar state
+// owned by the pool. Exceptions thrown by fn are captured (first one wins,
+// matching parallel_indexed), the remaining indices still execute, and the
+// winner is rethrown on the calling thread after the phase drains.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace eadt::exp {
+
+class TickPool {
+ public:
+  /// A pool of `jobs` workers total: `jobs - 1` parked threads plus the
+  /// calling thread, which always participates in run(). jobs <= 1 spawns no
+  /// threads at all — run() then executes inline, in index order.
+  explicit TickPool(int jobs);
+  ~TickPool();
+
+  TickPool(const TickPool&) = delete;
+  TickPool& operator=(const TickPool&) = delete;
+
+  /// Worker count including the caller (always >= 1).
+  [[nodiscard]] int jobs() const noexcept {
+    return static_cast<int>(threads_.size()) + 1;
+  }
+
+  /// Execute fn(ctx, i) for every i in [0, count), sharded across the pool
+  /// and the calling thread; blocks until all indices have run. fn must
+  /// confine its writes to per-index state. Not reentrant: one run() at a
+  /// time per pool.
+  void run(std::size_t count, void (*fn)(void* ctx, std::size_t index), void* ctx);
+
+ private:
+  void drain() noexcept;
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  // Current phase (guarded by mutex_ for the handshake; read lock-free by
+  // workers only between the start and done signals of the same generation).
+  void (*fn_)(void*, std::size_t) = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;  ///< workers still draining the current generation
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace eadt::exp

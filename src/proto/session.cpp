@@ -1178,12 +1178,18 @@ void TransferSession::tick_prepare() {
   }
 }
 
-bool TransferSession::advance_tick() {
+void TransferSession::advance_compute() {
   const Seconds dt = config_.tick;
   advance_channels(dt);
   const Joules tick_energy = account_energy(dt);
   end_system_total_ += tick_energy;
   last_tick_power_ = tick_energy / dt;
+  pending_tick_energy_ = tick_energy;
+}
+
+bool TransferSession::advance_commit() {
+  const Seconds dt = config_.tick;
+  const Joules tick_energy = pending_tick_energy_;
 
   if (checkpoint_sink_ && config_.checkpoint_interval > 0.0 &&
       sim_.now() - last_checkpoint_ >= config_.checkpoint_interval - 1e-9) {
@@ -1245,6 +1251,11 @@ bool TransferSession::advance_tick() {
     if (controller_ != nullptr && !done) controller_->on_sample(*this, s);
   }
   return !done;
+}
+
+bool TransferSession::advance_tick() {
+  advance_compute();
+  return advance_commit();
 }
 
 bool TransferSession::tick() {

@@ -158,6 +158,13 @@ class TransferSession : private FaultHost {
   /// net::LinkArbiter round yields the same joint allocation bit for bit —
   /// but a fleet of same-shape tenants costs the arbiter per-group.
   [[nodiscard]] std::span<const net::DemandGroup> link_demand_groups();
+  /// The groups built by the last link_demand_groups() call, without
+  /// recomputing them. Lets a serial arbitration loop submit what a parallel
+  /// prepare phase already collapsed (exp::Scheduler's tick pipeline).
+  [[nodiscard]] std::span<const net::DemandGroup> cached_link_demand_groups()
+      const noexcept {
+    return scratch_.link_groups;
+  }
   /// Sum of this session's demand caps / parallel streams, inputs to the
   /// shared congestion-efficiency model.
   [[nodiscard]] double aggregate_demand() const noexcept { return agg_demand_; }
@@ -169,7 +176,21 @@ class TransferSession : private FaultHost {
                              double burst_cap);
   /// Tick phase 3: move bytes, account energy, emit checkpoints/samples.
   /// Returns false once every queue is drained (the transfer is complete).
+  /// Exactly advance_compute() followed by advance_commit(); a shared-
+  /// simulation driver may call the halves itself to overlap many sessions'
+  /// compute before committing them in admission order (MODEL.md §16).
   [[nodiscard]] bool advance_tick();
+  /// Tick phase 3a — the parallel-safe half of advance_tick(): move bytes
+  /// through the channels and account this tick's energy. Touches only this
+  /// session's state (its channels, queues, ledgers and seeded RNG streams),
+  /// never the shared Simulation, so disjoint sessions may run it
+  /// concurrently with bit-identical results.
+  void advance_compute();
+  /// Tick phase 3b — the serial half: checkpoint emission, observability,
+  /// sampling windows and controller callbacks for the tick that
+  /// advance_compute() just produced. Must run on the driving thread, in a
+  /// fixed session order. Returns false once every queue is drained.
+  [[nodiscard]] bool advance_commit();
   /// Close the books at raw simulation clock `end_raw` and build the result
   /// (abort checkpoint included when `completed` is false). The session is
   /// spent afterwards.
@@ -361,6 +382,9 @@ class TransferSession : private FaultHost {
   int agg_streams_ = 0;
   Watts last_tick_power_ = 0.0;
   Bytes last_tick_bytes_ = 0;
+  /// Energy accrued by the last advance_compute(), handed to the matching
+  /// advance_commit() (obs + sampling read it on the driving thread).
+  Joules pending_tick_energy_ = 0.0;
   struct ObsState;
   std::unique_ptr<ObsState> obs_;  ///< built by run() iff sinks are attached
   Rng jitter_rng_{1};  // reseeded from env.jitter_seed in the constructor

@@ -18,6 +18,10 @@
 #include <cstdlib>
 #include <new>
 
+#include <vector>
+
+#include "exp/scheduler.hpp"
+#include "exp/service.hpp"
 #include "proto/session.hpp"
 #include "test_env.hpp"
 
@@ -101,3 +105,57 @@ TEST(AllocGuard, SteadyStateTicksAreAllocationFree) {
 
 }  // namespace
 }  // namespace eadt::proto
+
+namespace eadt::exp {
+namespace {
+
+/// The scheduler's steady-state master tick must be allocation-free too: the
+/// per-tick scratch (watchdog/finish lists, path groups, staged allocation
+/// slices) is Scheduler-owned and reused, and each session's tick is covered
+/// by the single-session guard above. The Scheduler owns its controllers and
+/// its simulation, so there is no mid-run hook to snapshot from; instead this
+/// is a differential: the same never-completing 24-tenant schedule run to
+/// horizon T and to horizon 2T must allocate exactly the same number of
+/// times — any per-tick allocation would make the longer run allocate more.
+std::uint64_t fleet_allocations(const Seconds horizon) {
+  auto tb = testbeds::xsede();
+  SchedulerPolicy policy;
+  policy.max_concurrent = 24;
+  policy.max_queue_depth = 24;
+  policy.horizon = horizon;
+  proto::SessionConfig cfg;
+  cfg.tick = 0.1;
+  cfg.sample_interval = 2.0;
+
+  std::vector<SchedulerJob> jobs;
+  for (int i = 0; i < 24; ++i) {
+    TransferJob job;
+    // One file no horizon this short can finish: no tenant ever completes,
+    // so every tick past warm-up is pure steady state and the two horizons
+    // run byte-identical prefixes of the same schedule.
+    job.name = "g" + std::to_string(i);
+    job.dataset.files.push_back({100ULL * kGB});
+    job.policy = JobPolicy::kDeadline;
+    job.max_channels = 2;
+    jobs.push_back({std::move(job), 0.0});
+  }
+
+  Scheduler scheduler(tb, gbps(7.0), policy, cfg);
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  const auto report = scheduler.run(std::move(jobs));
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(report.completed, 0);
+  EXPECT_EQ(report.failed, 24);  // horizon cleanup, identically in both runs
+  return after - before;
+}
+
+TEST(AllocGuard, SchedulerSteadyStateTicksAreAllocationFree) {
+  const std::uint64_t short_run = fleet_allocations(60.0);
+  const std::uint64_t long_run = fleet_allocations(120.0);
+  EXPECT_EQ(short_run, long_run)
+      << "the extra 600 steady-state master ticks of the longer run allocated "
+      << (long_run - short_run) << " times";
+}
+
+}  // namespace
+}  // namespace eadt::exp

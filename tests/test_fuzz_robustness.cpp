@@ -22,7 +22,10 @@
 #include "exp/supervisor.hpp"
 #include "net/fair_share.hpp"
 #include "net/path_set.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
+
+#include <sstream>
 
 namespace eadt::exp {
 namespace {
@@ -538,6 +541,162 @@ TEST(FuzzRobustness, ArbiterSameSeedIsBitReproducibleAcrossJobCounts) {
     ASSERT_EQ(ra.first, rb.first);
     EXPECT_EQ(ra.second, rb.second);
   }
+}
+
+// --- parallel tick pipeline at fleet scale ---------------------------------
+// The master tick's per-tenant phases shard across an exp::TickPool when
+// SchedulerPolicy::jobs > 1. The contract is bitwise: at ANY worker count the
+// report — every double, every sample window, every recovery event — must be
+// byte-identical to the sequential loop. These cases draw 10^2-10^3-tenant
+// schedules with faults, preemption pressure and (in the multipath battery)
+// per-path brownout storms, and compare scheduler_report_payload strings.
+
+/// One randomized fleet schedule, run at `tick_jobs` pipeline workers. The
+/// whole draw happens before the run, from the seed alone, so two calls with
+/// different `tick_jobs` schedule byte-identical inputs.
+FuzzRun run_parallel_fleet(std::uint64_t seed, int n, int tick_jobs,
+                           bool multipath = false,
+                           obs::ObsCollector* collector = nullptr) {
+  Rng rng(seed);
+  const auto tb = tiny_xsede();
+
+  SchedulerPolicy policy;
+  // Half the fleet runs at once (well past the pool's serial cutoff); the
+  // rest queues behind it, so interactive arrivals must preempt their way in.
+  policy.max_concurrent = n / 2;
+  policy.max_queue_depth = n;
+  policy.supervision.attempt_deadline = rng.uniform(120.0, 400.0);
+  policy.supervision.max_attempts = 4;
+  policy.supervision.degrade_after = 1;
+  policy.horizon = 24.0 * 3600;
+  policy.jobs = tick_jobs;
+  if (rng.uniform01() < 0.5) {
+    policy.link_brownouts.push_back({rng.uniform(5.0, 40.0),
+                                     rng.uniform(5.0, 30.0),
+                                     rng.uniform(0.3, 0.8)});
+  }
+  if (multipath) {
+    const int n_paths = static_cast<int>(rng.uniform_int(2, 3));
+    policy.paths.add({"p0", tb.env.path, tb.env.route, 0});
+    for (int p = 1; p < n_paths; ++p) {
+      net::PathSpec alt = tb.env.path;
+      alt.rtt *= rng.uniform(1.2, 2.0);
+      policy.paths.add({"p" + std::to_string(p), alt, net::futuregrid_route(), p});
+    }
+    const Watts peak = session_peak_power_bound(tb.env);
+    for (int p = 0; p < n_paths; ++p) {
+      policy.path_power_caps.push_back(peak * rng.uniform(4.0, 12.0));
+      policy.link_brownouts.push_back({rng.uniform(2.0, 20.0),
+                                       rng.uniform(3.0, 15.0),
+                                       rng.uniform(0.2, 0.6), p});
+    }
+  }
+
+  Scheduler scheduler(tb, gbps(7.0), policy, fast_cfg());
+  scheduler.set_fault_plan(fuzz_faults(rng));
+  if (collector != nullptr) scheduler.set_collector(collector);
+
+  std::vector<SchedulerJob> jobs;
+  FuzzRun run;
+  Seconds at = 0.0;
+  for (int i = 0; i < n; ++i) {
+    TransferJob job;
+    job.name = "f" + std::to_string(i);
+    const int files = static_cast<int>(rng.uniform_int(2, 4));
+    for (int f = 0; f < files; ++f) {
+      job.dataset.files.push_back(
+          {static_cast<Bytes>(rng.uniform_int(16, 64)) * kMB});
+    }
+    job.policy = fuzz_policy(rng);
+    job.sla_percent = rng.uniform(5.0, 40.0);
+    job.energy_budget = rng.uniform(5e4, 5e5);
+    job.max_channels = 2;
+    run.dataset_bytes.push_back(job.dataset.total_bytes());
+    jobs.push_back({std::move(job), at});
+    // Arrivals far faster than the shared link drains: the fleet piles up
+    // to max_concurrent instead of trickling through a handful of slots.
+    at += rng.uniform(0.0, 0.05);
+  }
+  run.report = scheduler.run(std::move(jobs));
+  return run;
+}
+
+/// ASSERT_EQ on two multi-megabyte payloads prints both in full on failure;
+/// this prints the first divergent byte with context instead.
+void expect_payloads_equal(const std::string& a, const std::string& b) {
+  if (a == b) return;
+  std::size_t i = 0;
+  while (i < a.size() && i < b.size() && a[i] == b[i]) ++i;
+  const std::size_t lo = i > 120 ? i - 120 : 0;
+  ADD_FAILURE() << "payloads diverge at byte " << i << " (sizes " << a.size()
+                << " vs " << b.size() << ")\n  a: ..." << a.substr(lo, 240)
+                << "\n  b: ..." << b.substr(lo, 240);
+}
+
+TEST(FuzzRobustness, ParallelFleetTickIsBitIdenticalToSequential) {
+  // (seed, tenants): two 10^2-scale draws and one pushing toward 10^3.
+  const std::pair<std::uint64_t, int> cases[] = {{91, 100}, {92, 100}, {93, 300}};
+  for (const auto& [seed, n] : cases) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + " n " + std::to_string(n));
+    const auto seq = run_parallel_fleet(seed, n, 1);
+    const auto par = run_parallel_fleet(seed, n, 4);
+    expect_payloads_equal(scheduler_report_payload(seq.report),
+                          scheduler_report_payload(par.report));
+    // The schedule must actually exercise the machinery it claims to test.
+    EXPECT_GE(par.report.max_concurrent_observed, 16);
+    EXPECT_TRUE(par.report.accounting_consistent());
+    ASSERT_EQ(par.report.jobs.size(), par.dataset_bytes.size());
+    for (std::size_t i = 0; i < par.report.jobs.size(); ++i) {
+      check_outcome_invariants("parallel fleet", par.report.jobs[i],
+                               par.dataset_bytes[i]);
+    }
+  }
+}
+
+TEST(FuzzRobustness, ParallelFleetMultipathIsBitIdenticalToSequential) {
+  for (const std::uint64_t seed : {101ull, 102ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto seq = run_parallel_fleet(seed, 120, 1, /*multipath=*/true);
+    const auto par = run_parallel_fleet(seed, 120, 4, /*multipath=*/true);
+    expect_payloads_equal(scheduler_report_payload(seq.report),
+                          scheduler_report_payload(par.report));
+    EXPECT_GE(par.report.max_concurrent_observed, 16);
+    EXPECT_EQ(par.report.power_cap_violations, 0);
+  }
+}
+
+TEST(FuzzRobustness, ParallelFleetSameSeedIsBitReproducible) {
+  // Two parallel runs of the same draw: the pool's nondeterministic shard
+  // interleaving must never reach the report.
+  const auto a = run_parallel_fleet(111, 150, 4);
+  const auto b = run_parallel_fleet(111, 150, 4);
+  expect_payloads_equal(scheduler_report_payload(a.report),
+                        scheduler_report_payload(b.report));
+}
+
+TEST(FuzzRobustness, ParallelFleetObsExportsMatchSequential) {
+  // With a collector attached, every tenant publishes trace counters and
+  // decisions into its own slot from inside the (parallel) tick phases. The
+  // merged exports — trace, metrics snapshot, decision log — must still be
+  // byte-identical to the sequential run's.
+  obs::ObsCollector seq_obs;
+  obs::ObsCollector par_obs;
+  const auto seq = run_parallel_fleet(121, 100, 1, false, &seq_obs);
+  const auto par = run_parallel_fleet(121, 100, 4, false, &par_obs);
+  expect_payloads_equal(scheduler_report_payload(seq.report),
+                        scheduler_report_payload(par.report));
+
+  const auto dump = [](const obs::ObsCollector& c) {
+    std::ostringstream trace, metrics, decisions;
+    c.write_chrome_trace(trace);
+    c.write_metrics_json(metrics);
+    c.write_decisions_json(decisions);
+    return trace.str() + "\n" + metrics.str() + "\n" + decisions.str();
+  };
+  const std::string a = dump(seq_obs);
+  const std::string b = dump(par_obs);
+  EXPECT_GT(a.size(), 2u);
+  expect_payloads_equal(a, b);
 }
 
 }  // namespace
