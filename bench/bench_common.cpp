@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <string_view>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -45,7 +47,11 @@ void print_usage(std::ostream& os) {
         "                      (open in ui.perfetto.dev or chrome://tracing)\n"
         "  --metrics-out PATH  write the metrics registry as JSON; the same\n"
         "                      snapshot is merged into the BENCH record\n"
-        "  --decisions PATH    write the algorithm decision log as JSON\n";
+        "  --decisions PATH    write the algorithm decision log as JSON\n"
+        "  --metrics-listen P  serve GET /metrics (OpenMetrics) and /healthz on\n"
+        "                      127.0.0.1:P while the bench runs (0 = ephemeral)\n"
+        "  --force             overwrite existing --*-out files instead of\n"
+        "                      refusing to clobber them\n";
 }
 
 std::optional<Options> try_parse_options(int argc, char** argv, std::string* error) {
@@ -109,6 +115,20 @@ std::optional<Options> try_parse_options(int argc, char** argv, std::string* err
       opt.decisions_out = *v;
     } else if (arg.rfind("--decisions=", 0) == 0) {
       opt.decisions_out = std::string(arg.substr(12));
+    } else if (arg == "--metrics-listen") {
+      const auto v = value_of();
+      if (!v) return fail("--metrics-listen requires a port");
+      opt.metrics_listen = std::atoi(v->c_str());
+      if (opt.metrics_listen < 0 || opt.metrics_listen > 65535) {
+        return fail("--metrics-listen port must be in [0, 65535]");
+      }
+    } else if (arg.rfind("--metrics-listen=", 0) == 0) {
+      opt.metrics_listen = std::atoi(arg.data() + 17);
+      if (opt.metrics_listen < 0 || opt.metrics_listen > 65535) {
+        return fail("--metrics-listen port must be in [0, 65535]");
+      }
+    } else if (arg == "--force") {
+      opt.force = true;
     } else if (arg == "--help" || arg == "-h") {
       opt.help = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -119,6 +139,20 @@ std::optional<Options> try_parse_options(int argc, char** argv, std::string* err
   }
   if (opt.quick) opt.scale = std::max(opt.scale, 32u);
   return opt;
+}
+
+std::optional<std::string> overwrite_refusal(const Options& opt) {
+  if (opt.force) return std::nullopt;
+  const std::string* outs[] = {&opt.trace_out, &opt.metrics_out, &opt.decisions_out};
+  for (const auto* path : outs) {
+    if (path->empty()) continue;
+    std::error_code ec;
+    if (std::filesystem::exists(*path, ec)) {
+      return "refusing to overwrite existing '" + *path +
+             "' (pass --force to replace it)";
+    }
+  }
+  return std::nullopt;
 }
 
 Options parse_options(int argc, char** argv) {
@@ -132,6 +166,10 @@ Options parse_options(int argc, char** argv) {
   if (opt->help) {
     print_usage(std::cout);
     std::exit(0);
+  }
+  if (const auto refusal = overwrite_refusal(*opt)) {
+    std::cerr << "error: " << *refusal << "\n";
+    std::exit(2);
   }
   return *opt;
 }
@@ -172,7 +210,11 @@ void write_bench_record(const Options& opt, exp::BenchRecord record) {
 }
 
 std::unique_ptr<obs::ObsCollector> make_collector(const Options& opt) {
-  return opt.observing() ? std::make_unique<obs::ObsCollector>() : nullptr;
+  // A scrape listener needs a registry to expose even when nothing is being
+  // written to disk, so --metrics-listen alone is enough to attach one.
+  return opt.observing() || opt.metrics_listen >= 0
+             ? std::make_unique<obs::ObsCollector>()
+             : nullptr;
 }
 
 void write_obs_outputs(const Options& opt, const obs::ObsCollector& collector) {

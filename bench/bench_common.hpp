@@ -47,6 +47,14 @@ struct Options {
   std::string trace_out;
   std::string metrics_out;
   std::string decisions_out;
+  /// Serve GET /metrics (OpenMetrics) on 127.0.0.1:<port> while the bench's
+  /// scheduler runs. 0 = ephemeral port, negative (default) = no listener.
+  /// Implies a collector even when no --*-out flag asked for one.
+  int metrics_listen = -1;
+  /// Overwrite existing --trace-out/--metrics-out/--decisions files. Without
+  /// it parse_options refuses to clobber (the BENCH json, which is a
+  /// trajectory file meant to be overwritten, is exempt).
+  bool force = false;
   bool help = false;
 
   [[nodiscard]] bool observing() const noexcept {
@@ -58,6 +66,13 @@ struct Options {
 /// values are errors (`*error` explains which), not silently ignored.
 [[nodiscard]] std::optional<Options> try_parse_options(int argc, char** argv,
                                                        std::string* error);
+
+/// The clobber guard behind --force: returns the refusal message if any
+/// requested --trace-out/--metrics-out/--decisions path already exists (and
+/// --force was not given), nullopt when writing is safe. The BENCH json is
+/// exempt — it is a perf-trajectory file meant to be rewritten every run.
+/// parse_options exits with this message; tests call it directly.
+[[nodiscard]] std::optional<std::string> overwrite_refusal(const Options& opt);
 
 void print_usage(std::ostream& os);
 
@@ -76,10 +91,11 @@ void emit(const Table& table, const Options& opt);
 void write_bench_record(const Options& opt, exp::BenchRecord record);
 
 /// A collector iff some --trace-out/--metrics-out/--decisions flag asks for
-/// one; null keeps the run on the zero-cost unobserved path. Every bench that
-/// parses those flags must either attach the collector to its runs and call
-/// write_obs_outputs, or reject the flags — accepting them and silently
-/// writing nothing is a bug (regression-tested in tests/test_bench_obs.cpp).
+/// one, or --metrics-listen wants a registry to scrape; null keeps the run on
+/// the zero-cost unobserved path. Every bench that parses those flags must
+/// either attach the collector to its runs and call write_obs_outputs, or
+/// reject the flags — accepting them and silently writing nothing is a bug
+/// (regression-tested in tests/test_bench_obs.cpp).
 [[nodiscard]] std::unique_ptr<obs::ObsCollector> make_collector(const Options& opt);
 
 /// Write whichever of the three observability exports were requested.

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -23,6 +24,8 @@
 #include "exp/scheduler.hpp"
 #include "exp/service.hpp"
 #include "obs/obs.hpp"
+#include "obs/openmetrics.hpp"
+#include "obs/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -71,14 +74,24 @@ std::vector<exp::SchedulerJob> build_fleet(int n, unsigned scale) {
   return jobs;
 }
 
+/// Telemetry rides every fleet run: one sample per 30 sim-seconds into a
+/// 4096-entry ring, single-site (the fleet shares one path). Both the
+/// sequential reference and the parallel run carry a hub so their exports
+/// can be raced bitwise — the telemetry analogue of the payload compare.
+constexpr double kTelemetryStride = 30.0;
+constexpr std::size_t kTelemetryRing = 4096;
+
 struct FleetRun {
   exp::SchedulerReport report;
   std::string payload;   ///< scheduler_report_payload — the bitwise identity
   double wall_ms = 0.0;  ///< run() only; schedule construction is untimed
+  obs::TelemetryHub telemetry{kTelemetryStride, kTelemetryRing, /*site_count=*/1};
+  obs::TickFlightRecorder flightrec;
 };
 
-FleetRun run_fleet(const testbeds::Testbed& base, int n, unsigned scale,
-                   int jobs_n, obs::ObsCollector* collector) {
+void run_fleet(const testbeds::Testbed& base, int n, unsigned scale,
+               int jobs_n, obs::ObsCollector* collector,
+               obs::TickProfiler* profiler, FleetRun& out) {
   exp::SchedulerPolicy policy;
   policy.max_concurrent = n;  // the whole fleet ticks concurrently
   policy.max_queue_depth = n;
@@ -88,16 +101,17 @@ FleetRun run_fleet(const testbeds::Testbed& base, int n, unsigned scale,
   cfg.sample_interval = 1.0;
 
   auto schedule = build_fleet(n, scale);
-  FleetRun out;
   exp::Scheduler scheduler(base, gbps(7.0), policy, cfg);
   scheduler.set_collector(collector);
+  scheduler.set_telemetry(&out.telemetry);
+  scheduler.set_flight_recorder(&out.flightrec);
+  scheduler.set_tick_profiler(profiler);
   const auto start = std::chrono::steady_clock::now();
   out.report = scheduler.run(std::move(schedule));
   out.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
                     .count();
   out.payload = exp::scheduler_report_payload(out.report);
-  return out;
 }
 
 }  // namespace
@@ -114,11 +128,38 @@ int main(int argc, char** argv) {
 
   // Sequential reference first, then the parallel pipeline. The collector —
   // when observability was requested — rides the parallel run, the one whose
-  // obs paths the pipeline must keep single-writer.
-  const FleetRun seq = run_fleet(base, n, opt.scale, 1, nullptr);
-  const FleetRun par = run_fleet(base, n, opt.scale, jobs, collector.get());
+  // obs paths the pipeline must keep single-writer; so do the wall-clock tick
+  // profiler and the scrape listener. Telemetry hubs ride both runs so the
+  // sim-time series can be raced bitwise alongside the report payload.
+  // The profiler registers its families up front, so a scrape that lands
+  // before the parallel run still sees well-formed TYPE lines; the listener
+  // binds before the sequential reference to give scrapers the widest window.
+  std::unique_ptr<obs::TickProfiler> profiler;
+  if (collector) profiler = std::make_unique<obs::TickProfiler>(collector->metrics());
+  std::unique_ptr<obs::MetricsHttpServer> server;
+  if (opt.metrics_listen >= 0 && collector) {
+    obs::MetricsRegistry& registry = collector->metrics();
+    server = std::make_unique<obs::MetricsHttpServer>(
+        opt.metrics_listen, [&registry] { return registry.snapshot(); });
+    if (server->running()) {
+      std::cout << "serving /metrics on 127.0.0.1:" << server->port() << "\n";
+    } else {
+      std::cerr << "metrics listener failed (" << server->error()
+                << "); run proceeds unscraped\n";
+    }
+  }
+
+  FleetRun seq;
+  run_fleet(base, n, opt.scale, 1, nullptr, nullptr, seq);
+  FleetRun par;
+  run_fleet(base, n, opt.scale, jobs, collector.get(), profiler.get(), par);
+  if (server && server->running()) {
+    server->stop();
+    std::cout << "metrics listener served " << server->requests() << " scrape(s)\n";
+  }
 
   const bool identical = seq.payload == par.payload;
+  const bool telemetry_identical = seq.telemetry.to_json() == par.telemetry.to_json();
   const double speedup = par.wall_ms > 0.0 ? seq.wall_ms / par.wall_ms : 0.0;
 
   Table table({"mode", "jobs", "tenants", "done", "fail", "max cc", "GB",
@@ -144,6 +185,10 @@ int main(int argc, char** argv) {
   };
   std::cout << "checks:\n";
   check("parallel report is byte-identical to --jobs 1", identical);
+  check("telemetry export is byte-identical to --jobs 1", telemetry_identical);
+  check("telemetry sampler recorded the run", par.telemetry.size() > 0);
+  check("flight recorder stayed quiet on the clean run",
+        par.flightrec.triggers() == 0);
   check("accounting is conservative in both runs",
         seq.report.accounting_consistent() && par.report.accounting_consistent());
   check("every tenant completed",
@@ -190,6 +235,10 @@ int main(int argc, char** argv) {
   sr.wall_ms = par.wall_ms;
   record.service.push_back(std::move(sr));
 
+  // The parallel run's series is the record's telemetry section: it is the
+  // byte-compared copy, and the one a scrape observed live.
+  record.telemetry = &par.telemetry;
+  record.flightrec = &par.flightrec;
   if (collector) {
     bench::write_obs_outputs(opt, *collector);
     record.metrics = collector->metrics().snapshot();

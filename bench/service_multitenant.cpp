@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,8 @@
 #include "exp/scheduler.hpp"
 #include "exp/service.hpp"
 #include "obs/obs.hpp"
+#include "obs/openmetrics.hpp"
+#include "obs/telemetry.hpp"
 #include "power/tariff.hpp"
 #include "proto/faults.hpp"
 
@@ -41,6 +44,10 @@ struct Scenario {
   Seconds tariff_start = 0.0;
   exp::SchedulerReport report;
   double wall_ms = 0.0;
+  /// Owned by the scenario so the parallel fan-out keeps each hub
+  /// single-writer; null for scenarios that do not sample.
+  std::unique_ptr<obs::TelemetryHub> telemetry;
+  std::unique_ptr<obs::TickFlightRecorder> flightrec;
 };
 
 int resumes(const exp::SchedulerReport& report) {
@@ -121,6 +128,11 @@ int main(int argc, char** argv) {
                          /*sla_percent=*/2.0, 0, 6},
                         2.0 * T + 0.125 * T * i});
     }
+    // The ramp is the scenario whose shed/preempt/burn trajectory the record's
+    // telemetry section narrates: ~8 samples per T across the whole horizon.
+    s.telemetry = std::make_unique<obs::TelemetryHub>(
+        /*stride_s=*/T / 8.0, /*capacity=*/8192, /*site_count=*/1);
+    s.flightrec = std::make_unique<obs::TickFlightRecorder>();
     scenarios.push_back(std::move(s));
   }
 
@@ -166,6 +178,21 @@ int main(int argc, char** argv) {
   const power::Tariff tariff = power::Tariff::time_of_use(
       0.05, {{8.0, 20.0, 0.30}});
 
+  // The scrape listener spans the whole sweep: the registry is shared across
+  // cells (snapshot() is what makes a mid-run scrape coherent).
+  std::unique_ptr<obs::MetricsHttpServer> server;
+  if (opt.metrics_listen >= 0 && collector) {
+    obs::MetricsRegistry& registry = collector->metrics();
+    server = std::make_unique<obs::MetricsHttpServer>(
+        opt.metrics_listen, [&registry] { return registry.snapshot(); });
+    if (server->running()) {
+      std::cout << "serving /metrics on 127.0.0.1:" << server->port() << "\n";
+    } else {
+      std::cerr << "metrics listener failed (" << server->error()
+                << "); run proceeds unscraped\n";
+    }
+  }
+
   const auto sweep_start = std::chrono::steady_clock::now();
   exp::SweepRunner::parallel_indexed(
       jobs, scenarios.size(), [&](std::size_t i) {
@@ -174,13 +201,17 @@ int main(int argc, char** argv) {
         exp::Scheduler scheduler(base, reference_rate, s.policy);
         scheduler.set_fault_plan(s.faults);
         if (s.tariffed) scheduler.set_tariff(tariff, s.tariff_start);
-        // Slots are single-writer: give each cell its own slot range.
+        // Slots are single-writer: give each cell its own slot range (the
+        // range also covers the scheduler's own summary slot at base + n).
         scheduler.set_collector(collector.get(), i * 64);
+        scheduler.set_telemetry(s.telemetry.get());
+        scheduler.set_flight_recorder(s.flightrec.get());
         s.report = scheduler.run(s.jobs);
         s.wall_ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - cell_start)
                         .count();
       });
+  if (server) server->stop();
   const double sweep_ms = std::chrono::duration<double, std::milli>(
       std::chrono::steady_clock::now() - sweep_start).count();
 
@@ -266,6 +297,8 @@ int main(int argc, char** argv) {
     sr.wall_ms = s.wall_ms;
     record.service.push_back(std::move(sr));
   }
+  record.telemetry = scenarios[0].telemetry.get();
+  record.flightrec = scenarios[0].flightrec.get();
   if (collector) {
     bench::write_obs_outputs(opt, *collector);
     record.metrics = collector->metrics().snapshot();

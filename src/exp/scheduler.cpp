@@ -1,6 +1,7 @@
 #include "exp/scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <span>
@@ -11,6 +12,7 @@
 #include "exp/tick_pool.hpp"
 #include "net/tcp_model.hpp"
 #include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
 #include "power/end_system.hpp"
 
 namespace eadt::exp {
@@ -169,6 +171,22 @@ constexpr std::size_t kMinParallelTenants = 16;
 /// One tick phase over [0, count): sharded across the pool when one is
 /// engaged, inline in index order otherwise. The lambda is passed by address
 /// as the pool's context — no std::function, no allocation on the tick path.
+/// Wall-clock lap timer for the tick pipeline's phases. Inert (never reads
+/// the clock) without a profiler, so the deterministic path costs nothing.
+struct PhaseTimer {
+  explicit PhaseTimer(obs::TickProfiler* profiler) : prof(profiler) {
+    if (prof != nullptr) last = std::chrono::steady_clock::now();
+  }
+  void lap(obs::TickProfiler::Phase phase) {
+    if (prof == nullptr) return;
+    const auto now = std::chrono::steady_clock::now();
+    prof->observe(phase, std::chrono::duration<double, std::micro>(now - last).count());
+    last = now;
+  }
+  obs::TickProfiler* prof;
+  std::chrono::steady_clock::time_point last;
+};
+
 template <typename Fn>
 void run_phase(TickPool* pool, std::size_t count, Fn&& fn) {
   if (pool == nullptr) {
@@ -204,9 +222,9 @@ struct Scheduler::Tenant {
   TenantOutcome out;
 };
 
-Scheduler::Scheduler(const testbeds::Testbed& testbed, BitsPerSecond reference_rate,
+Scheduler::Scheduler(testbeds::Testbed testbed, BitsPerSecond reference_rate,
                      SchedulerPolicy policy, proto::SessionConfig base_config)
-    : testbed_(testbed), reference_rate_(reference_rate), policy_(policy),
+    : testbed_(std::move(testbed)), reference_rate_(reference_rate), policy_(policy),
       base_config_(base_config) {
   policy_.max_concurrent = std::max(1, policy_.max_concurrent);
   policy_.max_queue_depth = std::max(1, policy_.max_queue_depth);
@@ -310,12 +328,14 @@ void Scheduler::on_submit(Tenant& t) {
     t.state = Tenant::State::kDeferred;
     ++t.out.deferrals;
     ++report_.deferrals;
+    ++deferred_;
     record(t, RecoveryAction::kDefer, sim_.now(),
            "shifting the start " + std::to_string(delay) +
                " s into the tariff's cheapest band");
     Tenant* tp = &t;
     sim_.schedule_after(delay, [this, tp] {
       if (tp->state != Tenant::State::kDeferred) return;
+      --deferred_;
       enqueue(*tp);
       try_dispatch();
     });
@@ -536,6 +556,10 @@ void Scheduler::abort_attempt(Tenant& t, Seconds end_raw) {
   running_.erase(std::find(running_.begin(), running_.end(), &t));
   release_capacity(t);
   ++t.deadline_aborts;
+  ++watchdog_aborts_;
+  if (flightrec_ != nullptr) {
+    flightrec_->trigger("watchdog abort: " + t.out.name, sim_.now());
+  }
   if (multipath()) {
     // A watchdog abort is evidence against the path the leg ran on; the
     // demerit decays with sim-time, so one flap does not exile a site.
@@ -649,6 +673,7 @@ bool Scheduler::master_tick() {
   } else if (!running_.empty()) {
     const std::size_t n_run = running_.size();
     TickPool* pool = tick_pool();
+    PhaseTimer timer(profiler_);
 
     // Phase 1 (parallel-safe): per-session prepare + demand collection +
     // group collapse. Each tenant touches only its own session state and its
@@ -662,6 +687,7 @@ bool Scheduler::master_tick() {
       t.session->collect_link_demands();
       (void)t.session->link_demand_groups();
     });
+    timer.lap(obs::TickProfiler::kPrepare);
 
     // The shared path: site-level brownouts scale it for everyone, and a
     // per-session fault brownout is a property of the path too — the most
@@ -704,6 +730,7 @@ bool Scheduler::master_tick() {
     tick_alloc_.clear();
     tick_slices_.resize(n_run);
     stage_allocations(running_, eff, burst_cap);
+    timer.lap(obs::TickProfiler::kArbiter);
 
     // Phase 3a (parallel-safe): rate application and byte/energy compute.
     // Rates, channel movement and the energy ledgers are pure per-session
@@ -718,6 +745,7 @@ bool Scheduler::master_tick() {
           staged.eff, staged.burst_cap);
       s.advance_compute();
     });
+    timer.lap(obs::TickProfiler::kApply);
 
     // Phase 3b (serial commit, admission order): everything that touches the
     // shared simulation or cross-tenant books — checkpoint emission, obs,
@@ -732,16 +760,23 @@ bool Scheduler::master_tick() {
       if (!more) finished_.push_back(t);
     }
     report_.peak_power = std::max(report_.peak_power, measured);
-    if (policy_.power_cap > 0.0 && measured > policy_.power_cap * (1.0 + 1e-9)) {
-      ++report_.power_cap_violations;
-    }
+    const bool cap_exceeded =
+        policy_.power_cap > 0.0 && measured > policy_.power_cap * (1.0 + 1e-9);
+    if (cap_exceeded) ++report_.power_cap_violations;
     if (!running_.empty() && collector_ != nullptr) {
       collector_->metrics().gauge("scheduler.peak_power_w").set_max(measured);
     }
+    flight_note(measured);
+    if (cap_exceeded && flightrec_ != nullptr) {
+      flightrec_->trigger("site power cap measured above bound", sim_.now());
+    }
+    sample_telemetry(measured);
     for (Tenant* t : finished_) complete(*t);
+    timer.lap(obs::TickProfiler::kCommit);
   }
 
   try_dispatch();
+  emit_sched_tracks();
   // Incremental trace export: drain the streamed buffer every master tick so
   // a week-long schedule never hits the buffer cap. Cheap when empty.
   if (stream_ != nullptr) stream_->flush();
@@ -757,6 +792,7 @@ void Scheduler::master_tick_multipath() {
   const int n = static_cast<int>(path_envs_.size());
   const std::size_t n_run = running_.size();
   TickPool* pool = tick_pool();
+  PhaseTimer timer(profiler_);
 
   // Phase 1 (parallel-safe): per-session prepare + demand collection +
   // group collapse, exactly as in the single-path tick.
@@ -767,6 +803,7 @@ void Scheduler::master_tick_multipath() {
     t.session->collect_link_demands();
     (void)t.session->link_demand_groups();
   });
+  timer.lap(obs::TickProfiler::kPrepare);
 
   // Phase 2 (serial): one fair-share round per path. -1 marks paths with no
   // running tenants this tick: they carry no goodput signal (an idle path is
@@ -813,6 +850,7 @@ void Scheduler::master_tick_multipath() {
         total_avg > 0.0 ? std::max(1.0, capacity / total_avg) : 1.0;
     stage_allocations(path_group_, eff, burst_cap);
   }
+  timer.lap(obs::TickProfiler::kArbiter);
 
   // Phase 3a (parallel-safe): rate application + byte/energy compute from
   // the staged slices. Every running tenant is placed on exactly one path,
@@ -826,6 +864,7 @@ void Scheduler::master_tick_multipath() {
         staged.eff, staged.burst_cap);
     s.advance_compute();
   });
+  timer.lap(obs::TickProfiler::kApply);
 
   // Phase 3b (serial commit, admission order): close the power books
   // globally AND per site, and feed the health monitor each path's
@@ -842,13 +881,27 @@ void Scheduler::master_tick_multipath() {
     if (!more) finished_.push_back(t);
   }
   report_.peak_power = std::max(report_.peak_power, measured);
-  if (policy_.power_cap > 0.0 && measured > policy_.power_cap * (1.0 + 1e-9)) {
-    ++report_.power_cap_violations;
-  }
+  const bool cap_exceeded =
+      policy_.power_cap > 0.0 && measured > policy_.power_cap * (1.0 + 1e-9);
+  if (cap_exceeded) ++report_.power_cap_violations;
   for (int p = 0; p < n; ++p) {
     const Watts cap = path_cap(p);
     if (cap > 0.0 && path_measured_[p] > cap * (1.0 + 1e-9)) {
       ++report_.power_cap_violations;
+    }
+  }
+  flight_note(measured);
+  if (flightrec_ != nullptr) {
+    if (cap_exceeded) {
+      flightrec_->trigger("site power cap measured above bound", sim_.now());
+    }
+    for (int p = 0; p < n; ++p) {
+      const Watts cap = path_cap(p);
+      if (cap > 0.0 && path_measured_[p] > cap * (1.0 + 1e-9)) {
+        flightrec_->trigger(
+            "per-site power cap measured above bound: " + policy_.paths.option(p).name,
+            sim_.now());
+      }
     }
   }
   for (int p = 0; p < n; ++p) {
@@ -869,12 +922,102 @@ void Scheduler::master_tick_multipath() {
           .set_max(health_->phi(p));
     }
   }
-  if (sched_sinks_ != nullptr && sched_sinks_->trace != nullptr) {
+  if (sched_sinks_ != nullptr && sched_sinks_->trace != nullptr &&
+      !path_phi_track_.empty()) {
     for (int p = 0; p < n; ++p) {
       sched_sinks_->trace->counter(sim_.now(), path_phi_track_[p], health_->phi(p));
     }
   }
+  sample_telemetry(measured);
   for (Tenant* t : finished_) complete(*t);
+  timer.lap(obs::TickProfiler::kCommit);
+}
+
+void Scheduler::sample_telemetry(Watts measured) {
+  if (telemetry_ == nullptr || !telemetry_->due(sim_.now())) return;
+  // Runs in the serial commit section, before completions are retired, and
+  // reads only deterministic sim-state — which is the whole determinism
+  // argument for the eadt-telemetry-v1 export. Allocation-free: the scratch
+  // sample's vectors are pre-sized by the hub.
+  obs::TelemetrySample& s = telemetry_->scratch();
+  s.running = static_cast<int>(running_.size());
+  s.queued = static_cast<int>(queue_.size());
+  s.deferred = deferred_;
+  int channels = 0;
+  for (const Tenant* t : running_) channels += t->session->open_channel_count();
+  s.channels = channels;
+  s.shed = static_cast<std::uint64_t>(report_.rejected);
+  s.preempted = static_cast<std::uint64_t>(report_.preemptions);
+  s.migrated = static_cast<std::uint64_t>(report_.migrations);
+  s.completed = static_cast<std::uint64_t>(report_.completed);
+  s.failed = static_cast<std::uint64_t>(report_.failed);
+  s.power_w = measured;
+  s.cap_w = policy_.power_cap;
+  s.class_running.fill(0);
+  s.class_burn.fill(0.0);
+  std::array<double, obs::kTelemetryClasses> burn_sum{};
+  std::array<int, obs::kTelemetryClasses> burn_n{};
+  for (const Tenant* t : running_) {
+    const auto c = static_cast<std::size_t>(class_rank(t->out.sla_class));
+    ++s.class_running[c];
+    if (t->attempt_deadline > 0.0) {
+      burn_sum[c] += deadline_burn(t->attempt_started, sim_.now(), t->attempt_deadline);
+      ++burn_n[c];
+    }
+  }
+  for (std::size_t c = 0; c < obs::kTelemetryClasses; ++c) {
+    if (burn_n[c] > 0) s.class_burn[c] = burn_sum[c] / burn_n[c];
+  }
+  const std::size_t sites = telemetry_->site_count();
+  if (multipath()) {
+    const std::size_t m = std::min(sites, path_measured_.size());
+    for (std::size_t p = 0; p < m; ++p) {
+      s.site_power_w[p] = path_measured_[p];
+      s.site_cap_w[p] = path_cap(static_cast<int>(p));
+      s.site_phi[p] = health_->phi(static_cast<int>(p));
+    }
+  } else if (sites >= 1) {
+    s.site_power_w[0] = measured;
+    s.site_cap_w[0] = policy_.power_cap;
+    s.site_phi[0] = 0.0;
+  }
+  telemetry_->record(sim_.now());
+}
+
+void Scheduler::flight_note(Watts measured) {
+  if (flightrec_ == nullptr) return;
+  obs::FlightTick ft;
+  ft.t = sim_.now();
+  ft.running = static_cast<int>(running_.size());
+  ft.queued = static_cast<int>(queue_.size());
+  ft.deferred = deferred_;
+  ft.power_w = measured;
+  ft.cap_w = policy_.power_cap;
+  ft.watchdog_aborts = watchdog_aborts_;
+  ft.cap_violations = static_cast<std::uint64_t>(report_.power_cap_violations);
+  flightrec_->note(ft);
+}
+
+void Scheduler::emit_sched_tracks() {
+  if (sched_sinks_ == nullptr || sched_sinks_->trace == nullptr ||
+      sched_running_track_ == nullptr) {
+    return;
+  }
+  // Change-gated: a 200k-tick fleet run emits a point only when the fleet
+  // state moved, which keeps long traces bounded by events, not by ticks.
+  const int running = static_cast<int>(running_.size());
+  const int queued = static_cast<int>(queue_.size());
+  const int shed = report_.rejected;
+  if (running == last_track_running_ && queued == last_track_queued_ &&
+      shed == last_track_shed_) {
+    return;
+  }
+  last_track_running_ = running;
+  last_track_queued_ = queued;
+  last_track_shed_ = shed;
+  sched_sinks_->trace->counter(sim_.now(), sched_running_track_, running);
+  sched_sinks_->trace->counter(sim_.now(), sched_queued_track_, queued);
+  sched_sinks_->trace->counter(sim_.now(), sched_shed_track_, shed);
 }
 
 SchedulerReport Scheduler::run(std::vector<SchedulerJob> jobs) {
@@ -915,16 +1058,22 @@ SchedulerReport Scheduler::run(std::vector<SchedulerJob> jobs) {
     }
     tenants_.push_back(std::move(t));
   }
-  if (multipath() && collector_ != nullptr) {
-    // Scheduler-level slot, placed after the per-tenant slots. Per-path phi
-    // counter tracks land here so a trace shows the health the placement
-    // decisions actually saw.
+  if (collector_ != nullptr) {
+    // Scheduler-level slot, placed after the per-tenant slots. Fleet-level
+    // counter tracks (running/queued/shed) land here so a trace is readable
+    // without per-tenant drilldown; multipath runs add per-path phi tracks
+    // showing the health the placement decisions actually saw.
     sched_sinks_ = collector_->slot(slot_base_ + tenants_.size(), "scheduler");
     path_phi_track_.clear();
     if (sched_sinks_->trace != nullptr) {
-      for (const auto& option : policy_.paths.options()) {
-        path_phi_track_.push_back(
-            sched_sinks_->trace->intern("path." + option.name + ".phi"));
+      sched_running_track_ = sched_sinks_->trace->intern("sched.running");
+      sched_queued_track_ = sched_sinks_->trace->intern("sched.queued");
+      sched_shed_track_ = sched_sinks_->trace->intern("sched.shed");
+      if (multipath()) {
+        for (const auto& option : policy_.paths.options()) {
+          path_phi_track_.push_back(
+              sched_sinks_->trace->intern("path." + option.name + ".phi"));
+        }
       }
     }
   }
@@ -961,6 +1110,13 @@ SchedulerReport Scheduler::run(std::vector<SchedulerJob> jobs) {
   }
   sim_.add_ticker(base_config_.tick, [this] { return master_tick(); });
   sim_.run_until(policy_.horizon + base_config_.tick);
+  if (profiler_ != nullptr && pool_ != nullptr) {
+    // Occupancy is wall-clock diagnostics: how evenly the atomic cursor
+    // spread tick phases over the pool, read once before the workers join.
+    for (int w = 0; w < pool_->jobs(); ++w) {
+      profiler_->record_worker_ops(static_cast<std::size_t>(w), pool_->worker_ops(w));
+    }
+  }
   pool_.reset();  // join the workers before the single-threaded close-out
 
   // The horizon: anything still in flight is closed out honestly.
@@ -976,8 +1132,10 @@ SchedulerReport Scheduler::run(std::vector<SchedulerJob> jobs) {
         fail(t, "still running at the scheduler horizon");
         break;
       }
-      case Tenant::State::kQueued:
       case Tenant::State::kDeferred:
+        --deferred_;
+        [[fallthrough]];
+      case Tenant::State::kQueued:
         fail(t, "horizon reached while waiting for capacity");
         break;
       case Tenant::State::kPending:
@@ -1012,6 +1170,9 @@ SchedulerReport Scheduler::run(std::vector<SchedulerJob> jobs) {
       cls.sla_met += t.out.sla_met ? 1 : 0;
     }
     report_.jobs.push_back(std::move(t.out));
+  }
+  if (flightrec_ != nullptr && !report_.accounting_consistent()) {
+    flightrec_->trigger("accounting invariant violated", sim_.now());
   }
   if (stream_ != nullptr) stream_->finish();
   return report_;

@@ -34,6 +34,7 @@
 // what keeps the existing goldens byte-identical.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -51,6 +52,9 @@
 namespace eadt::obs {
 class ObsCollector;
 class StreamingTraceWriter;
+class TelemetryHub;
+class TickFlightRecorder;
+class TickProfiler;
 }  // namespace eadt::obs
 
 namespace eadt::exp {
@@ -208,7 +212,11 @@ struct SchedulerReport {
 
 class Scheduler {
  public:
-  Scheduler(const testbeds::Testbed& testbed, BitsPerSecond reference_rate,
+  /// Takes the testbed by value (like TransferService): tenant sessions hold
+  /// references into it for the scheduler's whole lifetime, so a caller-owned
+  /// reference would make `Scheduler(make_testbed(), ...)` a dangling-read
+  /// trap.
+  Scheduler(testbeds::Testbed testbed, BitsPerSecond reference_rate,
             SchedulerPolicy policy, proto::SessionConfig base_config = {});
   ~Scheduler();  // out of line: Tenant is incomplete here
 
@@ -242,6 +250,24 @@ class Scheduler {
   /// outlive run(); null detaches. The streamed JSON is byte-identical to a
   /// one-shot write_chrome_trace() of the same buffer.
   void set_stream(obs::StreamingTraceWriter* stream) noexcept { stream_ = stream; }
+
+  /// Attach the deterministic sim-time sampler. Sampling happens in the
+  /// serial commit section of the master tick and reads only deterministic
+  /// scheduler state, so the hub's export is byte-identical at any `jobs`.
+  /// The hub must outlive run(); null detaches. A hub constructed with
+  /// stride 0 is treated as absent (the tick path never touches it).
+  void set_telemetry(obs::TelemetryHub* hub) noexcept { telemetry_ = hub; }
+
+  /// Attach the flight recorder: every active master tick is noted into its
+  /// ring, and a watchdog abort, a measured site cap excursion, or a broken
+  /// accounting invariant freezes the window into a dump. Must outlive
+  /// run(); null detaches.
+  void set_flight_recorder(obs::TickFlightRecorder* rec) noexcept { flightrec_ = rec; }
+
+  /// Attach the wall-clock tick-pipeline profiler (per-phase latency
+  /// histograms + tick-pool worker occupancy). Wall-clock only — never part
+  /// of the deterministic output. Must outlive run(); null detaches.
+  void set_tick_profiler(obs::TickProfiler* profiler) noexcept { profiler_ = profiler; }
 
   /// Run the whole schedule to quiescence (or the horizon). Deterministic;
   /// one call per Scheduler instance.
@@ -286,8 +312,16 @@ class Scheduler {
   /// one round per path) and off-thread (slices index caller-owned storage).
   void stage_allocations(const std::vector<Tenant*>& group, double eff,
                          double burst_cap);
+  /// Serial-commit telemetry hooks. sample_telemetry() fills the hub's
+  /// scratch from deterministic state when a sample is due; flight_note()
+  /// records this tick into the recorder's ring; emit_sched_tracks() writes
+  /// the scheduler-level running/queued/shed counter tracks when they
+  /// changed. All three are no-ops when their sink is absent.
+  void sample_telemetry(Watts measured);
+  void flight_note(Watts measured);
+  void emit_sched_tracks();
 
-  const testbeds::Testbed& testbed_;
+  const testbeds::Testbed testbed_;
   BitsPerSecond reference_rate_ = 0.0;
   SchedulerPolicy policy_;
   proto::SessionConfig base_config_;
@@ -297,6 +331,9 @@ class Scheduler {
   obs::ObsCollector* collector_ = nullptr;
   std::size_t slot_base_ = 0;
   obs::StreamingTraceWriter* stream_ = nullptr;
+  obs::TelemetryHub* telemetry_ = nullptr;
+  obs::TickFlightRecorder* flightrec_ = nullptr;
+  obs::TickProfiler* profiler_ = nullptr;
 
   // --- run() state -------------------------------------------------------
   sim::Simulation sim_;
@@ -308,6 +345,8 @@ class Scheduler {
   Watts session_peak_ = 0.0;      ///< per-session bound (one shared env)
   double link_factor_ = 1.0;      ///< site-level brownout factor
   int unfinished_ = 0;            ///< tenants not yet terminal
+  int deferred_ = 0;              ///< tenants parked in a tariff deferral
+  std::uint64_t watchdog_aborts_ = 0;  ///< cumulative, fed to the flight ring
   SchedulerReport report_;
 
   // --- per-tick scratch (hoisted so a steady-state master tick performs no
@@ -338,6 +377,14 @@ class Scheduler {
   std::vector<const char*> path_phi_track_;    ///< interned health-track names
   std::unique_ptr<HealthMonitor> health_;
   obs::ObsSinks* sched_sinks_ = nullptr;       ///< scheduler-level obs slot
+
+  // --- scheduler-level counter tracks (collector runs only) ---------------
+  const char* sched_running_track_ = nullptr;
+  const char* sched_queued_track_ = nullptr;
+  const char* sched_shed_track_ = nullptr;
+  int last_track_running_ = -1;  ///< change gates keep long traces bounded
+  int last_track_queued_ = -1;
+  int last_track_shed_ = -1;
 };
 
 }  // namespace eadt::exp

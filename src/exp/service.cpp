@@ -1,10 +1,13 @@
 #include "exp/service.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <memory>
 
 #include "baselines/baselines.hpp"
 #include "exp/scheduler.hpp"
 #include "obs/obs.hpp"
+#include "obs/openmetrics.hpp"
 
 namespace eadt::exp {
 
@@ -53,6 +56,25 @@ SchedulerReport TransferService::run_concurrent(std::vector<SchedulerJob> jobs,
   if (tariff_) scheduler.set_tariff(*tariff_, queue_start_time_);
   scheduler.set_collector(collector);
   scheduler.set_stream(stream_);
+  scheduler.set_telemetry(telemetry_);
+  scheduler.set_flight_recorder(flightrec_);
+  scheduler.set_tick_profiler(profiler_);
+  // The scrape listener lives exactly as long as the schedule runs: it binds
+  // before the first tick (so the port is known and announced up front) and
+  // stops when run() returns. Scrapes read the registry via its snapshot
+  // mutex; the engine's writers stay lock-free on pre-resolved handles.
+  std::unique_ptr<obs::MetricsHttpServer> server;
+  if (metrics_listen_ >= 0 && collector != nullptr) {
+    obs::MetricsRegistry& registry = collector->metrics();
+    server = std::make_unique<obs::MetricsHttpServer>(
+        metrics_listen_, [&registry] { return registry.snapshot(); });
+    if (server->running()) {
+      std::fprintf(stderr, "eadt: serving /metrics on 127.0.0.1:%d\n", server->port());
+    } else {
+      std::fprintf(stderr, "eadt: metrics listener failed (%s); run proceeds unscraped\n",
+                   server->error().c_str());
+    }
+  }
   return scheduler.run(std::move(jobs));
 }
 

@@ -27,6 +27,9 @@
 namespace eadt::obs {
 class ObsCollector;
 class StreamingTraceWriter;
+class TelemetryHub;
+class TickFlightRecorder;
+class TickProfiler;
 }  // namespace eadt::obs
 
 namespace eadt::exp {
@@ -138,6 +141,21 @@ class TransferService {
   /// writer must outlive run_concurrent(). See Scheduler::set_stream.
   void set_stream(obs::StreamingTraceWriter* stream) noexcept { stream_ = stream; }
 
+  /// Serve GET /metrics (OpenMetrics exposition of the collector's registry)
+  /// and GET /healthz on 127.0.0.1:`port` for the duration of
+  /// run_concurrent(). 0 binds an ephemeral port; negative (the default)
+  /// disables the listener. Requires a collector on run_concurrent() — there
+  /// is no registry to scrape otherwise. A bind failure is reported on
+  /// stderr and the run proceeds unscraped rather than dying.
+  void set_metrics_listen(int port) noexcept { metrics_listen_ = port; }
+
+  /// Forwarded to the concurrent scheduler (see exp::Scheduler for the
+  /// determinism and lifetime contracts): the sim-time telemetry sampler,
+  /// the last-K-ticks flight recorder, and the wall-clock tick profiler.
+  void set_telemetry(obs::TelemetryHub* hub) noexcept { telemetry_ = hub; }
+  void set_flight_recorder(obs::TickFlightRecorder* rec) noexcept { flightrec_ = rec; }
+  void set_tick_profiler(obs::TickProfiler* profiler) noexcept { profiler_ = profiler; }
+
  private:
   [[nodiscard]] JobOutcome run_job(const TransferJob& job) const;
 
@@ -149,6 +167,10 @@ class TransferService {
   proto::FaultPlan faults_;
   std::optional<SupervisorPolicy> supervisor_;
   obs::StreamingTraceWriter* stream_ = nullptr;
+  obs::TelemetryHub* telemetry_ = nullptr;
+  obs::TickFlightRecorder* flightrec_ = nullptr;
+  obs::TickProfiler* profiler_ = nullptr;
+  int metrics_listen_ = -1;  ///< negative = no scrape listener
 };
 
 }  // namespace eadt::exp

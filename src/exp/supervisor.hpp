@@ -133,6 +133,17 @@ struct SupervisorPolicy {
   bool hedge = false;
 };
 
+/// Fraction of an attempt's watchdog budget already burned: (now - started) /
+/// deadline, clamped at >= 0. A value past 1 means the watchdog is due. Used
+/// by the Scheduler's SLA burn-rate telemetry and by watchdog diagnostics;
+/// returns 0 when no deadline is set.
+[[nodiscard]] inline double deadline_burn(Seconds started, Seconds now,
+                                          Seconds deadline) noexcept {
+  if (deadline <= 0.0) return 0.0;
+  const double burn = (now - started) / deadline;
+  return burn > 0.0 ? burn : 0.0;
+}
+
 /// `base` re-bound to one PathSet option: same endpoints, datasets, and power
 /// models, but the option's link characteristics and device chain. The
 /// returned environment is what a failed-over session runs against — its BDP

@@ -14,6 +14,7 @@
 
 #include "exp/tick_pool.hpp"
 #include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
 #include "util/json.hpp"
 
 namespace eadt::exp {
@@ -317,6 +318,14 @@ void write_bench_json(std::ostream& os, const BenchRecord& record) {
       os << (i + 1 < record.failover.size() ? ",\n" : "\n");
     }
     os << "  ]";
+  }
+  if (record.telemetry != nullptr) {
+    os << ",\n  \"telemetry\": ";
+    record.telemetry->write_json(os, 2);
+  }
+  if (record.flightrec != nullptr && record.flightrec->triggers() > 0) {
+    os << ",\n  \"flightrec\": ";
+    record.flightrec->write_json(os, 2);
   }
   if (!record.metrics.empty()) {
     os << ",\n  \"metrics\": ";

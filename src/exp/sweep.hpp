@@ -29,6 +29,8 @@
 
 namespace eadt::obs {
 class ObsCollector;
+class TelemetryHub;
+class TickFlightRecorder;
 }  // namespace eadt::obs
 
 namespace eadt::exp {
@@ -219,6 +221,16 @@ struct BenchRecord {
   /// Path-resilience scenarios (robustness_failover only). Emitted only when
   /// non-empty, like `micro` — schema-additive.
   std::vector<FailoverScenarioRecord> failover;
+  /// Deterministic sim-time series from a telemetry-enabled run, rendered as
+  /// the nested `eadt-telemetry-v1` object. Borrowed for the duration of
+  /// write_bench_json; emitted only when non-null — schema-additive like the
+  /// sections above. Byte-identical at any --jobs N (the fleet bench races
+  /// this bitwise).
+  const obs::TelemetryHub* telemetry = nullptr;
+  /// Flight-recorder dumps (`eadt-flightrec-v1`), emitted only when the
+  /// recorder was attached AND actually triggered — a clean run's record is
+  /// unchanged by carrying a recorder.
+  const obs::TickFlightRecorder* flightrec = nullptr;
 };
 
 /// The commit stamp recorded in BenchRecords: $EADT_COMMIT if set, else the

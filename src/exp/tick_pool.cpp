@@ -7,8 +7,9 @@ namespace eadt::exp {
 TickPool::TickPool(int jobs) {
   const int extra = std::max(jobs, 1) - 1;
   threads_.reserve(static_cast<std::size_t>(extra));
+  ops_ = std::vector<std::atomic<std::uint64_t>>(static_cast<std::size_t>(extra) + 1);
   for (int w = 0; w < extra; ++w) {
-    threads_.emplace_back([this] {
+    threads_.emplace_back([this, w] {
       std::uint64_t seen = 0;
       for (;;) {
         {
@@ -17,7 +18,7 @@ TickPool::TickPool(int jobs) {
           if (stop_) return;
           seen = generation_;
         }
-        drain();
+        drain(static_cast<std::size_t>(w));
         {
           const std::lock_guard<std::mutex> lock(mutex_);
           if (--pending_ == 0) done_cv_.notify_all();
@@ -36,10 +37,12 @@ TickPool::~TickPool() {
   for (auto& t : threads_) t.join();
 }
 
-void TickPool::drain() noexcept {
+void TickPool::drain(std::size_t worker) noexcept {
+  std::uint64_t executed = 0;
   for (;;) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= count_) return;
+    if (i >= count_) break;
+    ++executed;
     try {
       fn_(ctx_, i);
     } catch (...) {
@@ -47,6 +50,9 @@ void TickPool::drain() noexcept {
       if (!first_error_) first_error_ = std::current_exception();
     }
   }
+  // One relaxed add per phase, not per index: occupancy accounting must stay
+  // invisible next to the work it measures.
+  if (executed > 0) ops_[worker].fetch_add(executed, std::memory_order_relaxed);
 }
 
 void TickPool::run(std::size_t count, void (*fn)(void*, std::size_t), void* ctx) {
@@ -55,6 +61,7 @@ void TickPool::run(std::size_t count, void (*fn)(void*, std::size_t), void* ctx)
     // Inline path: index order, exceptions propagate directly. A count of 1
     // also skips the handshake — waking the pool for one index buys nothing.
     for (std::size_t i = 0; i < count; ++i) fn(ctx, i);
+    ops_.back().fetch_add(count, std::memory_order_relaxed);
     return;
   }
   {
@@ -67,7 +74,7 @@ void TickPool::run(std::size_t count, void (*fn)(void*, std::size_t), void* ctx)
     ++generation_;
   }
   start_cv_.notify_all();
-  drain();  // the calling thread is a worker too
+  drain(threads_.size());  // the calling thread is a worker too
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mutex_);

@@ -56,8 +56,18 @@ class TickPool {
   /// time per pool.
   void run(std::size_t count, void (*fn)(void* ctx, std::size_t index), void* ctx);
 
+  /// Indices executed by worker `w` (in [0, jobs())) across every run() so
+  /// far; slot jobs() - 1 is the calling thread (inline executions count
+  /// there too). Wall-clock occupancy diagnostics for the tick profiler —
+  /// never part of deterministic output.
+  [[nodiscard]] std::uint64_t worker_ops(int w) const noexcept {
+    return w >= 0 && w < jobs()
+               ? ops_[static_cast<std::size_t>(w)].load(std::memory_order_relaxed)
+               : 0;
+  }
+
  private:
-  void drain() noexcept;
+  void drain(std::size_t worker) noexcept;
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;
@@ -69,6 +79,7 @@ class TickPool {
   void* ctx_ = nullptr;
   std::size_t count_ = 0;
   std::atomic<std::size_t> next_{0};
+  std::vector<std::atomic<std::uint64_t>> ops_;  ///< executed indices per worker
   std::uint64_t generation_ = 0;
   int pending_ = 0;  ///< workers still draining the current generation
   bool stop_ = false;

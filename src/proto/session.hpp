@@ -202,6 +202,11 @@ class TransferSession : private FaultHost {
   [[nodiscard]] Watts last_tick_power() const noexcept { return last_tick_power_; }
   /// Goodput bytes moved in the most recent tick (health-monitor feed).
   [[nodiscard]] Bytes last_tick_bytes() const noexcept { return last_tick_bytes_; }
+  /// Data channels currently open. Fleet telemetry sums this across running
+  /// tenants for the active-channel series.
+  [[nodiscard]] int open_channel_count() const noexcept {
+    return static_cast<int>(channels_.size());
+  }
   [[nodiscard]] Bytes dataset_bytes() const noexcept { return total_bytes_; }
   [[nodiscard]] const Environment& environment() const noexcept { return env_; }
 

@@ -22,6 +22,7 @@
 
 #include "exp/scheduler.hpp"
 #include "exp/service.hpp"
+#include "obs/telemetry.hpp"
 #include "proto/session.hpp"
 #include "test_env.hpp"
 
@@ -117,7 +118,7 @@ namespace {
 /// is a differential: the same never-completing 24-tenant schedule run to
 /// horizon T and to horizon 2T must allocate exactly the same number of
 /// times — any per-tick allocation would make the longer run allocate more.
-std::uint64_t fleet_allocations(const Seconds horizon) {
+std::uint64_t fleet_allocations(const Seconds horizon, const double telemetry_stride) {
   auto tb = testbeds::xsede();
   SchedulerPolicy policy;
   policy.max_concurrent = 24;
@@ -133,27 +134,50 @@ std::uint64_t fleet_allocations(const Seconds horizon) {
     // One file no horizon this short can finish: no tenant ever completes,
     // so every tick past warm-up is pure steady state and the two horizons
     // run byte-identical prefixes of the same schedule.
-    job.name = "g" + std::to_string(i);
+    job.name = "g";
+    job.name += std::to_string(i);
     job.dataset.files.push_back({100ULL * kGB});
     job.policy = JobPolicy::kDeadline;
     job.max_channels = 2;
     jobs.push_back({std::move(job), 0.0});
   }
 
+  // The telemetry instruments ride along (hub pre-sized at construction,
+  // recorder ring reserved up front), outside the counted window: attaching
+  // them must not add per-tick or per-sample allocations.
+  obs::TelemetryHub hub(telemetry_stride, 256, 1);
+  obs::TickFlightRecorder flightrec;
   Scheduler scheduler(tb, gbps(7.0), policy, cfg);
+  scheduler.set_telemetry(&hub);
+  scheduler.set_flight_recorder(&flightrec);
   const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
   const auto report = scheduler.run(std::move(jobs));
   const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
   EXPECT_EQ(report.completed, 0);
   EXPECT_EQ(report.failed, 24);  // horizon cleanup, identically in both runs
+  if (telemetry_stride > 0.0) {
+    EXPECT_GT(hub.size(), 0u);
+  }
+  EXPECT_EQ(flightrec.triggers(), 0u);  // a clean run never dumps
   return after - before;
 }
 
 TEST(AllocGuard, SchedulerSteadyStateTicksAreAllocationFree) {
-  const std::uint64_t short_run = fleet_allocations(60.0);
-  const std::uint64_t long_run = fleet_allocations(120.0);
+  const std::uint64_t short_run = fleet_allocations(60.0, /*telemetry_stride=*/0.0);
+  const std::uint64_t long_run = fleet_allocations(120.0, /*telemetry_stride=*/0.0);
   EXPECT_EQ(short_run, long_run)
       << "the extra 600 steady-state master ticks of the longer run allocated "
+      << (long_run - short_run) << " times";
+}
+
+TEST(AllocGuard, TelemetrySamplingTicksAreAllocationFree) {
+  // Same differential with the sampler live at a 5 s stride: the longer run
+  // takes 12 more samples than the shorter, and record() must commit each of
+  // them into the pre-sized ring without touching the heap.
+  const std::uint64_t short_run = fleet_allocations(60.0, /*telemetry_stride=*/5.0);
+  const std::uint64_t long_run = fleet_allocations(120.0, /*telemetry_stride=*/5.0);
+  EXPECT_EQ(short_run, long_run)
+      << "the longer run's extra telemetry samples allocated "
       << (long_run - short_run) << " times";
 }
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 namespace eadt::bench {
 namespace {
 
@@ -89,6 +92,48 @@ TEST(BenchOptions, ObservabilityFlagsRequireValues) {
     EXPECT_FALSE(try_parse({flag}, &error).has_value()) << flag;
     EXPECT_NE(error.find("requires a value"), std::string::npos) << flag;
   }
+}
+
+TEST(BenchOptions, MetricsListenForms) {
+  EXPECT_EQ(parse({}).metrics_listen, -1);  // default: no listener
+  EXPECT_EQ(parse({"--metrics-listen", "9109"}).metrics_listen, 9109);
+  EXPECT_EQ(parse({"--metrics-listen=0"}).metrics_listen, 0);  // ephemeral
+  std::string error;
+  EXPECT_FALSE(try_parse({"--metrics-listen", "70000"}, &error).has_value());
+  EXPECT_NE(error.find("--metrics-listen"), std::string::npos);
+  EXPECT_FALSE(try_parse({"--metrics-listen"}, &error).has_value());
+}
+
+TEST(BenchOptions, ForceFlag) {
+  EXPECT_FALSE(parse({}).force);
+  EXPECT_TRUE(parse({"--force"}).force);
+}
+
+TEST(BenchOptions, OverwriteRefusalGuardsExistingOutputs) {
+  // A path that exists is refused without --force; --force and fresh paths
+  // pass. The BENCH json is exempt — it is rewritten every run by design.
+  const std::string existing = ::testing::TempDir() + "bench_options_existing.json";
+  { std::ofstream touch(existing); }
+
+  Options opt;
+  EXPECT_FALSE(overwrite_refusal(opt).has_value());
+  opt.trace_out = existing;
+  const auto refusal = overwrite_refusal(opt);
+  ASSERT_TRUE(refusal.has_value());
+  EXPECT_NE(refusal->find(existing), std::string::npos);
+  EXPECT_NE(refusal->find("--force"), std::string::npos);
+  opt.force = true;
+  EXPECT_FALSE(overwrite_refusal(opt).has_value());
+
+  Options fresh;
+  fresh.metrics_out = ::testing::TempDir() + "bench_options_never_written.json";
+  EXPECT_FALSE(overwrite_refusal(fresh).has_value());
+
+  Options json_only;
+  json_only.json_path = existing;  // exempt on purpose
+  EXPECT_FALSE(overwrite_refusal(json_only).has_value());
+
+  std::remove(existing.c_str());
 }
 
 TEST(BenchOptions, HelpIsFlagged) {

@@ -1,0 +1,254 @@
+// OpenMetrics exposition and scrape listener (src/obs/openmetrics.*).
+//
+// The exposition half is pinned by a golden: a seeded registry must render to
+// exactly the text a compliant scraper expects — TYPE lines, `_total` counter
+// samples, cumulative histogram buckets with `le="+Inf"` == `_count`, and the
+// `# EOF` terminator. Hostile metric names (label injection attempts, names
+// that collide after sanitization, wrong-kind collisions) must stay distinct
+// and parseable. The listener half exercises the real socket path: bind an
+// ephemeral port, speak HTTP over a raw client socket, and scrape while
+// writer threads hammer the registry (the TSan configuration races this).
+#include "obs/openmetrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace eadt::obs {
+namespace {
+
+std::string render(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  write_openmetrics(os, registry.snapshot());
+  return os.str();
+}
+
+TEST(OpenMetrics, NameSanitization) {
+  EXPECT_EQ(openmetrics_name("session.bytes"), "session_bytes");
+  EXPECT_EQ(openmetrics_name("already_fine:ok"), "already_fine:ok");
+  EXPECT_EQ(openmetrics_name("9lives"), "_9lives");
+  EXPECT_EQ(openmetrics_name(""), "_");
+  EXPECT_EQ(openmetrics_name("a b\tc"), "a_b_c");
+}
+
+TEST(OpenMetrics, LabelEscaping) {
+  EXPECT_EQ(openmetrics_label_escape("plain"), "plain");
+  EXPECT_EQ(openmetrics_label_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(openmetrics_label_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(openmetrics_label_escape("a\nb"), "a\\nb");
+}
+
+TEST(OpenMetrics, GoldenExposition) {
+  MetricsRegistry registry;
+  registry.counter("requests_total").add(7);
+  registry.counter("session.bytes").add(42);
+  registry.gauge("queue.depth").set(3.0);
+  auto& h = registry.histogram("lat.us", {1.0, 5.0});
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(100.0);
+
+  // Snapshot order is counters, gauges, histograms, each name-sorted. A
+  // counter already named `*_total` folds the suffix into the family; every
+  // name sanitization changed keeps the original in a `name` label.
+  EXPECT_EQ(render(registry),
+            "# TYPE requests counter\n"
+            "requests_total 7\n"
+            "# TYPE session_bytes counter\n"
+            "session_bytes_total{name=\"session.bytes\"} 42\n"
+            "# TYPE queue_depth gauge\n"
+            "queue_depth{name=\"queue.depth\"} 3\n"
+            "# TYPE lat_us histogram\n"
+            "lat_us_bucket{le=\"1\",name=\"lat.us\"} 1\n"
+            "lat_us_bucket{le=\"5\",name=\"lat.us\"} 2\n"
+            "lat_us_bucket{le=\"+Inf\",name=\"lat.us\"} 3\n"
+            "lat_us_sum{name=\"lat.us\"} 103.5\n"
+            "lat_us_count{name=\"lat.us\"} 3\n"
+            "# EOF\n");
+}
+
+TEST(OpenMetrics, HostileNamesStayDistinctAndEscaped) {
+  MetricsRegistry registry;
+  // Two distinct internal names that sanitize identically must remain two
+  // series: the changed one carries its original name as a label.
+  registry.counter("a.b").add(1);
+  registry.counter("a_b").add(2);
+  // A label-injection attempt is neutralized twice over: the family name is
+  // sanitized and the label value is escaped.
+  registry.gauge("evil{x=\"1\"}\ny 9").set(1.0);
+
+  const std::string text = render(registry);
+  EXPECT_NE(text.find("# TYPE a_b counter\n"), std::string::npos);
+  EXPECT_NE(text.find("a_b_total{name=\"a.b\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("a_b_total 2\n"), std::string::npos);
+  EXPECT_NE(text.find("evil_x__1___y_9{name=\"evil{x=\\\"1\\\"}\\ny 9\"} 1\n"),
+            std::string::npos);
+  // Exactly one TYPE line for the collided counter family.
+  std::size_t type_lines = 0;
+  for (std::size_t pos = 0; (pos = text.find("# TYPE a_b ", pos)) != std::string::npos;
+       ++pos) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+}
+
+TEST(OpenMetrics, CrossKindCollisionGetsKindSuffix) {
+  MetricsRegistry registry;
+  registry.counter("x").add(1);
+  registry.gauge("x").set(2.0);
+  const std::string text = render(registry);
+  EXPECT_NE(text.find("# TYPE x counter\nx_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE x_gauge gauge\nx_gauge{name=\"x\"} 2\n"),
+            std::string::npos);
+}
+
+TEST(OpenMetrics, HistogramBucketsAreCumulativeAndConsistent) {
+  MetricsRegistry registry;
+  auto& h = registry.histogram("d", {10.0, 20.0, 30.0});
+  for (int i = 0; i < 25; ++i) h.observe(static_cast<double>(i * 2));  // 0..48
+
+  const auto metrics = registry.snapshot();
+  ASSERT_EQ(metrics.size(), 1u);
+  const auto& m = metrics[0];
+  // Per-bucket (non-cumulative) snapshot: <=10 -> 6, <=20 -> 5, <=30 -> 5,
+  // overflow -> 9; the exposition must render the running sum and close with
+  // +Inf == _count. Edges use the shortest-round-trip convention shared by
+  // every exporter in the tree, so exact tens render as e-notation.
+  const std::string text = render(registry);
+  EXPECT_NE(text.find("d_bucket{le=\"1e+01\"} 6\n"), std::string::npos);
+  EXPECT_NE(text.find("d_bucket{le=\"2e+01\"} 11\n"), std::string::npos);
+  EXPECT_NE(text.find("d_bucket{le=\"3e+01\"} 16\n"), std::string::npos);
+  EXPECT_NE(text.find("d_bucket{le=\"+Inf\"} 25\n"), std::string::npos);
+  EXPECT_NE(text.find("d_count 25\n"), std::string::npos);
+  // _sum matches the (fixed-point-quantized) histogram sum exactly.
+  std::uint64_t total = 0;
+  for (const auto b : m.buckets) total += b;
+  EXPECT_EQ(total, m.count);
+  EXPECT_NE(text.find("d_sum 6e+02\n"), std::string::npos);
+}
+
+TEST(OpenMetrics, EmptyRegistryIsJustTheTerminator) {
+  MetricsRegistry registry;
+  EXPECT_EQ(render(registry), "# EOF\n");
+}
+
+// --- scrape listener -------------------------------------------------------
+
+/// Minimal HTTP/1.0 client: connect to 127.0.0.1:`port`, send one GET, read
+/// to EOF. Returns the raw response (status line + headers + body).
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string body_of(const std::string& response) {
+  const auto split = response.find("\r\n\r\n");
+  return split == std::string::npos ? std::string{} : response.substr(split + 4);
+}
+
+TEST(MetricsHttpServer, ServesMetricsHealthzAnd404) {
+  MetricsRegistry registry;
+  registry.counter("scrapes.seen").add(3);
+  MetricsHttpServer server(0, [&registry] { return registry.snapshot(); });
+  ASSERT_TRUE(server.running()) << server.error();
+  ASSERT_GT(server.port(), 0);
+
+  const std::string metrics = http_get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find(openmetrics_content_type()), std::string::npos);
+  EXPECT_EQ(body_of(metrics),
+            "# TYPE scrapes_seen counter\n"
+            "scrapes_seen_total{name=\"scrapes.seen\"} 3\n"
+            "# EOF\n");
+
+  const std::string healthz = http_get(server.port(), "/healthz");
+  EXPECT_NE(healthz.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_EQ(body_of(healthz), "ok\n");
+
+  const std::string missing = http_get(server.port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.0 404 Not Found"), std::string::npos);
+
+  server.stop();
+  EXPECT_EQ(server.requests(), 3u);
+}
+
+TEST(MetricsHttpServer, PortCollisionReportsErrorInsteadOfDying) {
+  MetricsRegistry registry;
+  const auto snap = [&registry] { return registry.snapshot(); };
+  MetricsHttpServer first(0, snap);
+  ASSERT_TRUE(first.running());
+  MetricsHttpServer second(first.port(), snap);
+  EXPECT_FALSE(second.running());
+  EXPECT_EQ(second.port(), -1);
+  EXPECT_FALSE(second.error().empty());
+}
+
+TEST(MetricsHttpServer, ScrapeUnderLoadReturnsCoherentExposition) {
+  MetricsRegistry registry;
+  auto& hist = registry.histogram("load.us", {1.0, 10.0, 100.0});
+  std::atomic<bool> stop{false};
+  // Writer threads mutate pre-resolved handles lock-free while scrapes
+  // snapshot the registry — the contract the TSan job verifies.
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&registry, &hist, &stop, w] {
+      auto& c = registry.counter("load.events." + std::to_string(w));
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.add(1);
+        hist.observe(static_cast<double>(i++ % 128));
+        registry.gauge("load.peak").set_max(static_cast<double>(i));
+      }
+    });
+  }
+
+  MetricsHttpServer server(0, [&registry] { return registry.snapshot(); });
+  ASSERT_TRUE(server.running()) << server.error();
+  for (int scrape = 0; scrape < 16; ++scrape) {
+    const std::string body = body_of(http_get(server.port(), "/metrics"));
+    ASSERT_FALSE(body.empty());
+    // Every mid-run snapshot is a complete, terminated exposition whose
+    // histogram line set is internally consistent (one snapshot, not a torn
+    // mix of two).
+    EXPECT_NE(body.find("# TYPE load_us histogram\n"), std::string::npos);
+    EXPECT_TRUE(body.ends_with("# EOF\n"));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : writers) t.join();
+  server.stop();
+  EXPECT_GE(server.requests(), 16u);
+}
+
+}  // namespace
+}  // namespace eadt::obs
